@@ -1,0 +1,144 @@
+// Package caft is the public API of the CAFT library: contention-aware
+// fault-tolerant scheduling of precedence task graphs on heterogeneous
+// platforms under the bidirectional one-port communication model, after
+// Benoit, Hakem, Robert (INRIA RR-6606 / ICPP 2008).
+//
+// The implementation lives in internal packages; this facade re-exports
+// the types and entry points a downstream user needs:
+//
+//	g := caft.NewDAG(4)
+//	g.AddEdge(0, 1, 40)                       // edge volumes
+//	plat := caft.NewRandomPlatform(rng, 4, 0.5, 1.0)
+//	exec := caft.GenExecForGranularity(rng, g, plat, 1.0)
+//	p := &caft.Problem{G: g, Plat: plat, Exec: exec}
+//	s, err := caft.ScheduleCAFT(p, 1, rng)    // tolerate 1 failure
+//	lb, _ := caft.LowerBound(s)
+//	lat, _ := caft.CrashLatency(s, map[int]bool{2: true})
+//
+// A zero Problem.Model is the one-port model and a zero Problem.Policy
+// is the paper's append reservation policy; set Problem.Net to a
+// topology.Graph for sparse interconnects.
+package caft
+
+import (
+	"math/rand"
+
+	"caft/internal/core"
+	"caft/internal/dag"
+	"caft/internal/platform"
+	"caft/internal/sched"
+	"caft/internal/sched/ftbar"
+	"caft/internal/sched/ftsa"
+	"caft/internal/sched/heft"
+	"caft/internal/sim"
+)
+
+// Re-exported model types.
+type (
+	// DAG is a weighted directed acyclic task graph.
+	DAG = dag.DAG
+	// TaskID identifies a task in a DAG.
+	TaskID = dag.TaskID
+	// Edge is a precedence constraint carrying a data volume.
+	Edge = dag.Edge
+	// Platform is a set of processors with pairwise unit link delays.
+	Platform = platform.Platform
+	// ExecMatrix holds E(t, P), the execution time of each task on each
+	// processor.
+	ExecMatrix = platform.ExecMatrix
+	// Problem bundles a DAG, a platform, an execution matrix and the
+	// communication model.
+	Problem = sched.Problem
+	// Schedule is an immutable fault-tolerant schedule: replicas and
+	// communications with their resource reservations.
+	Schedule = sched.Schedule
+	// Replica is one scheduled copy of a task.
+	Replica = sched.Replica
+	// Comm is one scheduled data transfer.
+	Comm = sched.Comm
+	// Metrics summarizes a schedule's resource usage.
+	Metrics = sched.Metrics
+	// Network abstracts the interconnect (clique by default).
+	Network = sched.Network
+	// CAFTOptions tunes the CAFT variants (locking mode, greedy or
+	// replicated-only placement).
+	CAFTOptions = core.Options
+	// ReplayResult holds the replayed times of every replica and
+	// communication after fault injection.
+	ReplayResult = sim.Result
+)
+
+// NewDAG returns a DAG with n unnamed tasks and no edges.
+func NewDAG(n int) *DAG { return dag.New(n) }
+
+// NewPlatform returns m fully connected processors with a homogeneous
+// unit link delay.
+func NewPlatform(m int, delay float64) *Platform { return platform.New(m, delay) }
+
+// NewRandomPlatform draws symmetric unit link delays uniformly from
+// [lo, hi] (the paper uses [0.5, 1]).
+func NewRandomPlatform(rng *rand.Rand, m int, lo, hi float64) *Platform {
+	return platform.NewRandom(rng, m, lo, hi)
+}
+
+// GenExecForGranularity builds an execution matrix whose granularity —
+// total slowest computation over total slowest communication — hits the
+// target exactly.
+func GenExecForGranularity(rng *rand.Rand, g *DAG, p *Platform, target float64) ExecMatrix {
+	return platform.GenExecForGranularity(rng, g, p, target, platform.DefaultHeterogeneity)
+}
+
+// ScheduleCAFT runs the paper's contribution: a schedule tolerating eps
+// arbitrary fail-stop processor failures with contention-aware
+// replication. eps = 0 reduces to HEFT.
+func ScheduleCAFT(p *Problem, eps int, rng *rand.Rand) (*Schedule, error) {
+	return core.Schedule(p, eps, rng)
+}
+
+// ScheduleCAFTOpts runs a specific CAFT variant (greedy one-to-one,
+// replicated-only, or the literal paper locking for ablations).
+func ScheduleCAFTOpts(p *Problem, eps int, rng *rand.Rand, opts CAFTOptions) (*Schedule, error) {
+	s, _, err := core.ScheduleOpts(p, eps, rng, opts)
+	return s, err
+}
+
+// ScheduleBatchCAFT runs the windowed batch variant (paper §7).
+func ScheduleBatchCAFT(p *Problem, eps, window int, rng *rand.Rand) (*Schedule, error) {
+	return core.ScheduleBatch(p, eps, window, rng)
+}
+
+// ScheduleFTSA runs the FTSA baseline (fault-tolerant HEFT).
+func ScheduleFTSA(p *Problem, eps int, rng *rand.Rand) (*Schedule, error) {
+	return ftsa.Schedule(p, eps, rng)
+}
+
+// ScheduleFTBAR runs the FTBAR baseline (schedule pressure +
+// Minimize-Start-Time).
+func ScheduleFTBAR(p *Problem, npf int, rng *rand.Rand) (*Schedule, error) {
+	return ftbar.Schedule(p, npf, rng)
+}
+
+// ScheduleHEFT runs the fault-free reference scheduler.
+func ScheduleHEFT(p *Problem, rng *rand.Rand) (*Schedule, error) {
+	return heft.Schedule(p, rng)
+}
+
+// LowerBound returns the latency achieved when no processor fails.
+func LowerBound(s *Schedule) (float64, error) { return sim.LowerBound(s) }
+
+// UpperBound returns the latency guaranteed even when eps processors
+// fail (last-arrival replay, completion of the last replica).
+func UpperBound(s *Schedule) (float64, error) { return sim.UpperBound(s) }
+
+// CrashLatency replays the schedule with the given fail-stop processors
+// and returns the achieved latency; it errors if the crashes exceed the
+// schedule's tolerance and a task is lost.
+func CrashLatency(s *Schedule, crashed map[int]bool) (float64, error) {
+	return sim.CrashLatency(s, crashed)
+}
+
+// CrashLatencyAt replays timed fail-stop failures: work completed
+// before each processor's crash instant survives.
+func CrashLatencyAt(s *Schedule, crashTimes map[int]float64) (float64, error) {
+	return sim.CrashLatencyAt(s, crashTimes)
+}

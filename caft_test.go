@@ -1,0 +1,76 @@
+package caft
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestFacadeEndToEnd drives the whole public API surface as a
+// downstream user would.
+func TestFacadeEndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := NewDAG(4)
+	g.AddEdge(0, 1, 40)
+	g.AddEdge(0, 2, 60)
+	g.AddEdge(1, 3, 50)
+	g.AddEdge(2, 3, 30)
+	plat := NewRandomPlatform(rng, 4, 0.5, 1.0)
+	exec := GenExecForGranularity(rng, g, plat, 1.0)
+	p := &Problem{G: g, Plat: plat, Exec: exec}
+
+	schedulers := map[string]func() (*Schedule, error){
+		"caft":  func() (*Schedule, error) { return ScheduleCAFT(p, 1, rng) },
+		"ftsa":  func() (*Schedule, error) { return ScheduleFTSA(p, 1, rng) },
+		"ftbar": func() (*Schedule, error) { return ScheduleFTBAR(p, 1, rng) },
+		"batch": func() (*Schedule, error) { return ScheduleBatchCAFT(p, 1, 3, rng) },
+		"greedy": func() (*Schedule, error) {
+			return ScheduleCAFTOpts(p, 1, rng, CAFTOptions{Greedy: true})
+		},
+	}
+	for name, build := range schedulers {
+		s, err := build()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		lb, err := LowerBound(s)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		ub, err := UpperBound(s)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if ub < lb {
+			t.Fatalf("%s: ub %v < lb %v", name, ub, lb)
+		}
+		for proc := 0; proc < 4; proc++ {
+			if _, err := CrashLatency(s, map[int]bool{proc: true}); err != nil {
+				t.Fatalf("%s crash P%d: %v", name, proc, err)
+			}
+			if _, err := CrashLatencyAt(s, map[int]float64{proc: lb / 2}); err != nil {
+				t.Fatalf("%s timed crash P%d: %v", name, proc, err)
+			}
+		}
+		mt := s.ComputeMetrics()
+		// 2 mandatory replicas per task; FTBAR's Minimize-Start-Time may
+		// add duplicates on top.
+		if mt.Replicas < 8 {
+			t.Fatalf("%s: %d replicas, want >= 8", name, mt.Replicas)
+		}
+	}
+
+	sh, err := ScheduleHEFT(p, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sh.ReplicaCount() != 4 {
+		t.Fatalf("HEFT replicas = %d", sh.ReplicaCount())
+	}
+	hp := NewPlatform(3, 1)
+	if hp.M != 3 || hp.Delay[0][1] != 1 {
+		t.Fatal("NewPlatform broken")
+	}
+}

@@ -1,0 +1,160 @@
+// Command caftsim regenerates the experimental data of the paper: for
+// every figure (1-6) it sweeps the granularity family, schedules each
+// random instance with CAFT, FTSA and FTBAR under the one-port model,
+// replays crashes, and prints the panel series as TSV.
+//
+// Usage:
+//
+//	caftsim -figure 1 [-graphs 60] [-seed 1]     # all three panels of Fig. 1
+//	caftsim -figure 2b                           # only panel (b) of Fig. 2
+//	caftsim -figure all                          # figures 1-6
+//	caftsim -figure messages                     # Prop. 5.1 message counts
+//	caftsim -figure ablation                     # CAFT variant ablation (A1/A4)
+//	caftsim -figure accuracy                     # macro-dataflow estimate accuracy (A3)
+//	caftsim -figure sparse                       # sparse-topology extension (X1)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"caft/internal/expt"
+)
+
+func main() {
+	var (
+		figure = flag.String("figure", "1", "figure to regenerate: 1..6, optionally with panel suffix a/b/c; or all, messages, ablation, accuracy, sparse")
+		graphs = flag.Int("graphs", 60, "random graphs per point (paper: 60)")
+		seed   = flag.Int64("seed", 1, "base PRNG seed")
+		plot   = flag.String("plot", "", "also write gnuplot data+script for figure runs into this directory")
+	)
+	flag.Parse()
+	if err := run(*figure, *graphs, *seed, *plot); err != nil {
+		fmt.Fprintln(os.Stderr, "caftsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(figure string, graphs int, seed int64, plotDir string) error {
+	switch figure {
+	case "all":
+		for n := 1; n <= 6; n++ {
+			if err := runFigure(n, "", graphs, seed, plotDir); err != nil {
+				return err
+			}
+		}
+		return nil
+	case "messages":
+		return expt.RunMessages(os.Stdout, graphs, seed)
+	case "ablation":
+		return expt.RunAblation(os.Stdout, graphs, seed)
+	case "accuracy":
+		return expt.RunAccuracy(os.Stdout, graphs, seed)
+	case "sparse":
+		return expt.RunSparse(os.Stdout, graphs, seed)
+	}
+	panel := ""
+	num := figure
+	if len(figure) == 2 && strings.ContainsAny(figure[1:], "abc") {
+		num, panel = figure[:1], figure[1:]
+	}
+	n, err := strconv.Atoi(num)
+	if err != nil {
+		return fmt.Errorf("unknown figure %q", figure)
+	}
+	return runFigure(n, panel, graphs, seed, plotDir)
+}
+
+func runFigure(n int, panel string, graphs int, seed int64, plotDir string) error {
+	cfg, err := expt.FigureConfig(n, graphs, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("# Figure %d%s: m=%d eps=%d crashes=%d graphs/point=%d seed=%d\n",
+		n, panel, cfg.M, cfg.Eps, cfg.Crashes, cfg.Graphs, seed)
+	start := time.Now()
+	points, err := cfg.Run(nil)
+	if err != nil {
+		return err
+	}
+	if panel == "" || panel == "a" {
+		fmt.Println("## panel (a): normalized latency, 0 crash + bounds + fault-free")
+		fmt.Println("g\tFTSA0\tFTSA-UB\tFTBAR0\tFTBAR-UB\tCAFT0\tCAFT-UB\tFF-CAFT\tFF-FTBAR")
+		for _, p := range points {
+			fmt.Printf("%.1f\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\n",
+				p.G, p.FTSA0, p.FTSAUB, p.FTBAR0, p.FTBARUB, p.CAFT0, p.CAFTUB, p.FFCAFT, p.FFFTBAR)
+		}
+	}
+	if panel == "" || panel == "b" {
+		fmt.Printf("## panel (b): normalized latency, 0 crash vs %d crash(es)\n", cfg.Crashes)
+		fmt.Println("g\tFTSA0\tFTSAc\tFTBAR0\tFTBARc\tCAFT0\tCAFTc")
+		for _, p := range points {
+			fmt.Printf("%.1f\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\n",
+				p.G, p.FTSA0, p.FTSAc, p.FTBAR0, p.FTBARc, p.CAFT0, p.CAFTc)
+		}
+	}
+	if panel == "" || panel == "c" {
+		fmt.Println("## panel (c): average overhead (%) vs fault-free CAFT")
+		fmt.Println("g\tFTSA0\tFTSAc\tFTBAR0\tFTBARc\tCAFT0\tCAFTc")
+		for _, p := range points {
+			fmt.Printf("%.1f\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\n",
+				p.G, p.OvFTSA0, p.OvFTSAc, p.OvFTBAR0, p.OvFTBARc, p.OvCAFT0, p.OvCAFTc)
+		}
+	}
+	if plotDir != "" {
+		if err := writePlots(plotDir, n, cfg.Crashes, points); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("# messages/graph (mean): CAFT %.0f  FTSA %.0f  FTBAR %.0f  HEFT %.0f; elapsed %s\n",
+		meanLast(points, func(p expt.Point) float64 { return p.MsgCAFT }),
+		meanLast(points, func(p expt.Point) float64 { return p.MsgFTSA }),
+		meanLast(points, func(p expt.Point) float64 { return p.MsgFTBAR }),
+		meanLast(points, func(p expt.Point) float64 { return p.MsgHEFT }),
+		time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// writePlots drops figureN.dat and figureN.gp into dir.
+func writePlots(dir string, n, crashes int, points []expt.Point) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	dataName := fmt.Sprintf("figure%d.dat", n)
+	df, err := os.Create(filepath.Join(dir, dataName))
+	if err != nil {
+		return err
+	}
+	if err := expt.WriteGnuplotData(df, points); err != nil {
+		df.Close()
+		return err
+	}
+	if err := df.Close(); err != nil {
+		return err
+	}
+	gf, err := os.Create(filepath.Join(dir, fmt.Sprintf("figure%d.gp", n)))
+	if err != nil {
+		return err
+	}
+	if err := expt.WriteGnuplotScript(gf, n, dataName, crashes); err != nil {
+		gf.Close()
+		return err
+	}
+	return gf.Close()
+}
+
+func meanLast(points []expt.Point, f func(expt.Point) float64) float64 {
+	if len(points) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, p := range points {
+		s += f(p)
+	}
+	return s / float64(len(points))
+}

@@ -1,0 +1,65 @@
+// Command dagen generates task-graph instances as JSON: the paper's
+// random layered DAGs or the structured families (fork, join, chain,
+// outforest, diamond, stencil, montage, fft).
+//
+// Usage:
+//
+//	dagen -kind random -seed 7 > dag.json
+//	dagen -kind fork -n 16 -volume 100
+//	dagen -kind fft -n 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"caft/internal/dag"
+	"caft/internal/gen"
+)
+
+func main() {
+	var (
+		kind   = flag.String("kind", "random", "graph family: random, fork, join, chain, outforest, diamond, stencil, montage, fft")
+		n      = flag.Int("n", 10, "size parameter (leaves, length, tasks, width, or log2 points depending on kind)")
+		depth  = flag.Int("depth", 4, "depth parameter for diamond/stencil")
+		volume = flag.Float64("volume", 100, "edge data volume for structured families")
+		seed   = flag.Int64("seed", 1, "PRNG seed for random families")
+		minT   = flag.Int("min-tasks", gen.DefaultParams.MinTasks, "random: minimum task count")
+		maxT   = flag.Int("max-tasks", gen.DefaultParams.MaxTasks, "random: maximum task count")
+	)
+	flag.Parse()
+	rng := rand.New(rand.NewSource(*seed))
+	var g *dag.DAG
+	switch *kind {
+	case "random":
+		params := gen.DefaultParams
+		params.MinTasks, params.MaxTasks = *minT, *maxT
+		g = gen.RandomLayered(rng, params)
+	case "fork":
+		g = gen.Fork(*n, *volume)
+	case "join":
+		g = gen.Join(*n, *volume)
+	case "chain":
+		g = gen.Chain(*n, *volume)
+	case "outforest":
+		g = gen.RandomOutForest(rng, *n, 2, 50, 150)
+	case "diamond":
+		g = gen.Diamond(*n, *depth, *volume)
+	case "stencil":
+		g = gen.Stencil(*depth, *n, *volume)
+	case "montage":
+		g = gen.Montage(*n, *volume)
+	case "fft":
+		g = gen.FFT(*n, *volume)
+	default:
+		fmt.Fprintf(os.Stderr, "dagen: unknown kind %q\n", *kind)
+		os.Exit(1)
+	}
+	if err := g.Write(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "dagen:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "dagen: %d tasks, %d edges, width %d\n", g.NumTasks(), g.NumEdges(), g.Width())
+}

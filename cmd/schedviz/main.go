@@ -1,0 +1,178 @@
+// Command schedviz schedules a DAG (from a dagen JSON file or a built-in
+// family) with a chosen algorithm and renders the resulting schedule as
+// an ASCII Gantt chart, optionally replaying processor crashes.
+//
+// Usage:
+//
+//	dagen -kind montage -n 4 | schedviz -algo caft -eps 1 -m 6 -ports
+//	schedviz -algo ftsa -eps 2 -m 8 -kind random -crash 0,3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"caft/internal/core"
+	"caft/internal/dag"
+	"caft/internal/gen"
+	"caft/internal/platform"
+	"caft/internal/sched"
+	"caft/internal/sched/ftbar"
+	"caft/internal/sched/ftsa"
+	"caft/internal/sched/heft"
+	"caft/internal/sim"
+	"caft/internal/timeline"
+	"caft/internal/viz"
+)
+
+func main() {
+	var (
+		algo  = flag.String("algo", "caft", "scheduler: caft, ftsa, ftbar, heft")
+		eps   = flag.Int("eps", 1, "number of tolerated failures")
+		m     = flag.Int("m", 6, "number of processors")
+		kind  = flag.String("kind", "", "generate a graph instead of reading JSON from stdin: random, montage, fork, diamond")
+		gran  = flag.Float64("granularity", 1.0, "target granularity of the generated execution times")
+		seed  = flag.Int64("seed", 1, "PRNG seed")
+		width = flag.Int("width", 100, "chart width in cells")
+		ports = flag.Bool("ports", false, "draw send/recv port lanes")
+		crash = flag.String("crash", "", "comma-separated processors to crash in a replay")
+		svg   = flag.String("svg", "", "also write an SVG Gantt chart to this file")
+		trace = flag.String("trace", "", "write the replay event trace as CSV to this file")
+	)
+	flag.Parse()
+	if err := run(*algo, *eps, *m, *kind, *gran, *seed, *width, *ports, *crash, *svg, *trace); err != nil {
+		fmt.Fprintln(os.Stderr, "schedviz:", err)
+		os.Exit(1)
+	}
+}
+
+func run(algo string, eps, m int, kind string, gran float64, seed int64, width int, ports bool, crash, svgPath, tracePath string) error {
+	rng := rand.New(rand.NewSource(seed))
+	var g *dag.DAG
+	var err error
+	switch kind {
+	case "":
+		if g, err = dag.Read(os.Stdin); err != nil {
+			return fmt.Errorf("reading DAG from stdin: %w", err)
+		}
+	case "random":
+		params := gen.DefaultParams
+		params.MinTasks, params.MaxTasks = 20, 30
+		g = gen.RandomLayered(rng, params)
+	case "montage":
+		g = gen.Montage(4, 100)
+	case "fork":
+		g = gen.Fork(8, 100)
+	case "diamond":
+		g = gen.Diamond(3, 3, 100)
+	default:
+		return fmt.Errorf("unknown kind %q", kind)
+	}
+	plat := platform.NewRandom(rng, m, 0.5, 1.0)
+	exec := platform.GenExecForGranularity(rng, g, plat, gran, platform.DefaultHeterogeneity)
+	p := &sched.Problem{G: g, Plat: plat, Exec: exec, Model: sched.OnePort, Policy: timeline.Append}
+
+	var s *sched.Schedule
+	switch algo {
+	case "caft":
+		s, err = core.Schedule(p, eps, rng)
+	case "ftsa":
+		s, err = ftsa.Schedule(p, eps, rng)
+	case "ftbar":
+		s, err = ftbar.Schedule(p, eps, rng)
+	case "heft":
+		s, err = heft.Schedule(p, rng)
+	default:
+		return fmt.Errorf("unknown algorithm %q", algo)
+	}
+	if err != nil {
+		return err
+	}
+	viz.Summary(os.Stdout, s)
+	fmt.Println()
+	if err := viz.Render(os.Stdout, s, viz.Options{Width: width, Ports: ports}); err != nil {
+		return err
+	}
+	if svgPath != "" {
+		f, err := os.Create(svgPath)
+		if err != nil {
+			return err
+		}
+		title := fmt.Sprintf("%s eps=%d on %d processors", algo, eps, m)
+		if err := viz.RenderSVG(f, s, viz.SVGOptions{Ports: ports, Title: title}); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if crash == "" && tracePath == "" {
+		return nil
+	}
+	if crash == "" {
+		r, err := sim.Replay(s, sim.Options{})
+		if err != nil {
+			return err
+		}
+		return writeTrace(tracePath, r)
+	}
+	crashed := map[int]bool{}
+	for _, part := range strings.Split(crash, ",") {
+		proc, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || proc < 0 || proc >= m {
+			return fmt.Errorf("bad crash processor %q", part)
+		}
+		crashed[proc] = true
+	}
+	lat0, err := sim.LowerBound(s)
+	if err != nil {
+		return err
+	}
+	latC, err := sim.CrashLatency(s, crashed)
+	if err != nil {
+		return fmt.Errorf("crash replay: %w", err)
+	}
+	ub, err := sim.UpperBound(s)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nreplay: latency %.2f with 0 crashes, %.2f with crashes %v (upper bound %.2f)\n", lat0, latC, keys(crashed), ub)
+	if tracePath != "" {
+		r, err := sim.Replay(s, sim.Options{Crashed: crashed})
+		if err != nil {
+			return err
+		}
+		return writeTrace(tracePath, r)
+	}
+	return nil
+}
+
+func writeTrace(path string, r *sim.Result) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.WriteTraceCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func keys(set map[int]bool) []int {
+	var out []int
+	for k := range set {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

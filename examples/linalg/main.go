@@ -1,0 +1,54 @@
+// Linalg: schedule a tiled Cholesky factorization — the canonical dense
+// linear-algebra DAG — with growing replication and report schedule
+// quality against the theoretical lower bounds: schedule length ratio
+// (SLR vs the critical-path bound), load imbalance and port
+// utilization. Shows how the fault-tolerance overhead decomposes into
+// replicated work and replication traffic.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"text/tabwriter"
+
+	"caft/internal/bounds"
+	"caft/internal/core"
+	"caft/internal/gen"
+	"caft/internal/platform"
+	"caft/internal/sched"
+	"caft/internal/timeline"
+)
+
+func main() {
+	const tiles, m = 5, 8
+	g := gen.Cholesky(tiles, 64)
+	rng := rand.New(rand.NewSource(13))
+	plat := platform.NewRandom(rng, m, 0.5, 1.0)
+	exec := platform.GenExecForGranularity(rng, g, plat, 2.0, platform.DefaultHeterogeneity)
+	p := &sched.Problem{G: g, Plat: plat, Exec: exec, Model: sched.OnePort, Policy: timeline.Append}
+
+	fmt.Printf("Cholesky(%d tiles): %d tasks, %d edges, width %d\n", tiles, g.NumTasks(), g.NumEdges(), g.Width())
+	fmt.Printf("lower bounds: critical path %.1f, work/m %.1f\n\n", bounds.CriticalPath(p), bounds.Work(p))
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "eps\tlatency\tSLR\tmessages\tcomm/comp\timbalance\tport util")
+	for _, eps := range []int{0, 1, 2, 3} {
+		s, err := core.Schedule(p, eps, rng)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if s.ScheduledLatency() < bounds.CriticalPath(p) {
+			log.Fatal("schedule beats the critical-path bound: simulator bug")
+		}
+		mt := s.ComputeMetrics()
+		fmt.Fprintf(tw, "%d\t%.1f\t%.2f\t%d\t%.2f\t%.2f\t%.2f\n",
+			eps, mt.Latency, bounds.SLR(s), mt.Messages, mt.CommDensity(), mt.LoadImbalance, mt.AvgPortUtil)
+	}
+	tw.Flush()
+	fmt.Println("\nSLR stays within a small factor of the critical-path bound while the")
+	fmt.Println("replicated work multiplies; CAFT's one-to-one chains keep the extra")
+	fmt.Println("traffic (comm/comp, port utilization) growing linearly rather than")
+	fmt.Println("quadratically in the replication degree.")
+}

@@ -1,0 +1,70 @@
+// Sparsenet: the paper's Section 7 extension in action. The same
+// stencil workload is scheduled by CAFT on a clique and on routed
+// sparse interconnects (ring, star, mesh, hypercube); messages crossing
+// multiple hops occupy every link on their route, so denser topologies
+// buy latency. Fault tolerance is preserved on every topology.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"text/tabwriter"
+
+	"caft/internal/core"
+	"caft/internal/gen"
+	"caft/internal/platform"
+	"caft/internal/sched"
+	"caft/internal/sim"
+	"caft/internal/timeline"
+	"caft/internal/topology"
+)
+
+func main() {
+	const m, eps = 8, 1
+	g := gen.Stencil(6, 6, 90) // 36-task wavefront
+	rng := rand.New(rand.NewSource(11))
+	plat := platform.New(m, 0.75)
+	exec := platform.GenExecForGranularity(rng, g, plat, 1.0, platform.DefaultHeterogeneity)
+
+	nets := []struct {
+		name string
+		net  sched.Network
+	}{
+		{"clique (paper's model)", nil},
+		{"hypercube(3)", topology.Hypercube(3, 0.75)},
+		{"mesh 2x4", topology.Mesh2D(2, 4, 0.75)},
+		{"star", topology.Star(m, 0.75)},
+		{"ring", topology.Ring(m, 0.75)},
+	}
+
+	fmt.Printf("stencil 6x6 on %d processors, eps=%d\n\n", m, eps)
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "topology\tdiameter\tlatency\tmessages\tworst 1-crash")
+	for _, n := range nets {
+		p := &sched.Problem{G: g, Plat: plat, Exec: exec, Model: sched.OnePort, Policy: timeline.Append, Net: n.net}
+		s, err := core.Schedule(p, eps, rng)
+		if err != nil {
+			log.Fatal(err)
+		}
+		diam := 1
+		if tg, ok := n.net.(*topology.Graph); ok {
+			diam = tg.Diameter()
+		}
+		worst := 0.0
+		for proc := 0; proc < m; proc++ {
+			lat, err := sim.CrashLatency(s, map[int]bool{proc: true})
+			if err != nil {
+				log.Fatalf("%s: crash P%d lost a task: %v", n.name, proc, err)
+			}
+			if lat > worst {
+				worst = lat
+			}
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%.1f\t%d\t%.1f\n", n.name, diam, s.ScheduledLatency(), s.MessageCount(), worst)
+	}
+	tw.Flush()
+	fmt.Println("\nlong routes serialize on shared links; the ring pays the highest price,")
+	fmt.Println("yet one crash never loses the application on any topology.")
+}

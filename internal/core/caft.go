@@ -1,0 +1,555 @@
+// Package core implements CAFT, the Contention-Aware Fault-Tolerant
+// scheduling algorithm — the primary contribution of Benoit, Hakem,
+// Robert, "Realistic Models and Efficient Algorithms for Fault Tolerant
+// Scheduling on Heterogeneous Platforms" (INRIA RR-6606 / ICPP 2008).
+//
+// CAFT schedules a DAG on a heterogeneous platform under the
+// bidirectional one-port model while tolerating ε arbitrary fail-silent
+// processor failures through active replication (ε+1 replicas per
+// task). Its key idea (Algorithms 5.1 and 5.2 of the paper) is the
+// one-to-one mapping procedure: whenever the replicas of the current
+// task's predecessors are spread over enough "singleton" processors,
+// each replica of a predecessor sends its data to exactly one replica of
+// the task, rather than to all of them as FTSA and FTBAR do. Processor
+// locking (eq. (7)) keeps the replica chains processor-disjoint, which
+// is what preserves resilience: ε failures can kill at most ε of the
+// ε+1 disjoint chains. When the one-to-one structure is not available,
+// CAFT greedily falls back to fully replicated communications for the
+// remaining replicas, which are resilient for the same reason as FTSA.
+//
+// On fork graphs and outforests this yields at most e(ε+1) messages
+// (Prop. 5.1) against e(ε+1)² for FTSA/FTBAR — the linear-vs-quadratic
+// gap the paper's experiments trace back to network contention.
+//
+// # Locking modes
+//
+// The paper's eq. (7) locks only the chosen processor and the
+// processors of the immediate heads. While reproducing the algorithm we
+// found that this is not sufficient for DAGs of depth ≥ 2: a replica
+// fed through a one-to-one chain dies whenever any processor in its
+// transitive chain dies, and the chains hanging off two different
+// predecessors may share a deep upstream processor even when the
+// immediate head processors are distinct. A single crash of that shared
+// processor then starves every replica of the task, violating the
+// claimed ε-resilience. On the paper's own experimental parameters
+// (random graphs, m = 10, ε ∈ {1,3}) the literal rule loses a task on
+// 35-100% of random ε-crash draws (see TestPaperLockingGap and
+// EXPERIMENTS.md).
+//
+// The default SupportLocking mode therefore locks the full support of
+// the placed replicas — the transitive set of processors each replica's
+// survival depends on — restoring the guarantee of Proposition 5.2
+// while preserving the one-to-one communication structure (and hence
+// Prop. 5.1's message bound, since supports on outforests are exactly
+// the disjoint chains). The same bookkeeping repairs the paper's
+// intra-processor suppression rule, which is likewise unsafe when the
+// co-located replica is chain-fed. PaperLocking implements eq. (7)
+// literally and is kept for ablation studies.
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"caft/internal/dag"
+	"caft/internal/sched"
+)
+
+// Locking selects how much of a replica chain the one-to-one mapping
+// procedure locks.
+type Locking int
+
+const (
+	// SupportLocking locks the transitive support of every placed
+	// replica of the current task (default; guarantees ε-resilience).
+	SupportLocking Locking = iota
+	// PaperLocking locks only the chosen processor and the immediate
+	// head processors, exactly as eq. (7) of the paper. Not resilient on
+	// deep graphs; kept for fidelity ablations.
+	PaperLocking
+)
+
+func (l Locking) String() string {
+	if l == PaperLocking {
+		return "paper"
+	}
+	return "support"
+}
+
+// Options tunes CAFT variants.
+type Options struct {
+	Locking Locking
+	// Greedy uses one-to-one mapping whenever it is available, exactly
+	// as Algorithm 5.1 prescribes, even when fully replicated rounds
+	// would produce a better schedule.
+	Greedy bool
+	// FullOnly disables one-to-one mapping entirely: every replica gets
+	// fully replicated inputs (an FTSA-like pattern placed with CAFT's
+	// sequential re-probing); used by the A1 ablation.
+	FullOnly bool
+	//
+	// When neither flag is set, CAFT runs both complete schedules — the
+	// resilient one-to-one chains are only worth their processor-locking
+	// cost in some regimes (they win when communication and computation
+	// are balanced, lose under extreme contention on small platforms) —
+	// and returns the one with the smaller latency. Both candidates
+	// tolerate ε failures, so the portfolio does too.
+}
+
+// Stats reports how the replicas of a run were placed.
+type Stats struct {
+	OneToOneRounds int // replicas placed by One-To-One-Mapping
+	FullRounds     int // replicas placed with fully replicated inputs
+}
+
+// Schedule runs CAFT with default options, producing a schedule that
+// tolerates eps arbitrary fail-stop processor failures. eps = 0 reduces
+// to HEFT (paper §6).
+func Schedule(p *sched.Problem, eps int, rng *rand.Rand) (*sched.Schedule, error) {
+	s, _, err := ScheduleOpts(p, eps, rng, Options{})
+	return s, err
+}
+
+// ScheduleOpts runs CAFT with explicit options and returns placement
+// statistics alongside the schedule.
+func ScheduleOpts(p *sched.Problem, eps int, rng *rand.Rand, opts Options) (*sched.Schedule, *Stats, error) {
+	if err := p.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if eps < 0 || eps+1 > p.Plat.M {
+		return nil, nil, fmt.Errorf("caft: cannot place %d replicas on %d processors", eps+1, p.Plat.M)
+	}
+	if !opts.Greedy && !opts.FullOnly {
+		// Portfolio mode: build both resilient schedules with identical
+		// tie-breaking streams and keep the better one.
+		seedA, seedB := rng.Int63(), rng.Int63()
+		og, of := opts, opts
+		og.Greedy, of.FullOnly = true, true
+		sg, statsG, err := ScheduleOpts(p, eps, rand.New(rand.NewSource(seedA)), og)
+		if err != nil {
+			return nil, nil, err
+		}
+		sf, statsF, err := ScheduleOpts(p, eps, rand.New(rand.NewSource(seedB)), of)
+		if err != nil {
+			return nil, nil, err
+		}
+		if sg.ScheduledLatency() <= sf.ScheduledLatency() {
+			return sg, statsG, nil
+		}
+		return sf, statsF, nil
+	}
+	c := &scheduler{
+		st:       sched.NewState(p),
+		eps:      eps,
+		opts:     opts,
+		m:        p.Plat.M,
+		supports: map[repKey]procSet{},
+		stats:    &Stats{},
+	}
+	l := sched.NewLister(p, rng)
+	for {
+		t, ok := l.Pop()
+		if !ok {
+			break
+		}
+		if err := c.scheduleTask(t); err != nil {
+			return nil, nil, err
+		}
+		l.MarkScheduled(t, sched.EarliestFinish(c.st.Reps[t]))
+	}
+	if l.Remaining() != 0 {
+		return nil, nil, fmt.Errorf("caft: %d tasks never became free (cyclic graph?)", l.Remaining())
+	}
+	return c.st.Snapshot(), c.stats, nil
+}
+
+type repKey struct {
+	task dag.TaskID
+	copy int
+}
+
+type scheduler struct {
+	st       *sched.State
+	eps      int
+	opts     Options
+	m        int
+	supports map[repKey]procSet
+	stats    *Stats
+}
+
+// support returns the set of processors a replica's survival depends
+// on. Replicas without a recorded support (fully replicated inputs,
+// entry tasks) depend only on their own processor.
+func (c *scheduler) support(r sched.Replica) procSet {
+	if s, ok := c.supports[repKey{r.Task, r.Copy}]; ok {
+		return s
+	}
+	s := newProcSet(c.m)
+	s.add(r.Proc)
+	return s
+}
+
+// chained reports whether a replica's survival depends on processors
+// beyond its own (i.e., it was fed through one-to-one chains).
+func (c *scheduler) chained(r sched.Replica) bool {
+	s, ok := c.supports[repKey{r.Task, r.Copy}]
+	if !ok {
+		return false
+	}
+	return s.count() > 1 || !s.has(r.Proc)
+}
+
+// lockFootprint returns the processor set that locking a head replica
+// removes from future rounds: its full support under SupportLocking,
+// only its own processor under PaperLocking.
+func (c *scheduler) lockFootprint(r sched.Replica) procSet {
+	if c.opts.Locking == PaperLocking {
+		s := newProcSet(c.m)
+		s.add(r.Proc)
+		return s
+	}
+	return c.support(r)
+}
+
+// scheduleTask places the ε+1 replicas of t. Up to θ replicas are
+// placed through the one-to-one mapping procedure (Algorithm 5.2); the
+// others receive fully replicated incoming communications (lines 16-20
+// of Algorithm 5.1). With FullOnly, θ is forced to zero.
+func (c *scheduler) scheduleTask(t dag.TaskID) error {
+	st, eps := c.st, c.eps
+	preds := st.P.G.Pred(t)
+
+	// Determine the singleton processors X — processors hosting exactly
+	// one replica across all predecessors' replica sets — and the pools
+	// B̄(tj) of each predecessor's replicas living on them. θ = min λj is
+	// the number of one-to-one rounds available (capped at ε+1; entry
+	// tasks trivially allow ε+1 "rounds" of plain placement).
+	theta := eps + 1
+	pools := make([][]sched.Replica, len(preds))
+	if len(preds) > 0 {
+		procCount := map[int]int{}
+		for _, e := range preds {
+			for _, r := range st.Reps[e.From] {
+				procCount[r.Proc]++
+			}
+		}
+		for j, e := range preds {
+			for _, r := range st.Reps[e.From] {
+				if procCount[r.Proc] == 1 {
+					pools[j] = append(pools[j], r)
+				}
+			}
+			if len(pools[j]) < theta {
+				theta = len(pools[j])
+			}
+		}
+	}
+	if c.opts.FullOnly {
+		theta = 0
+	}
+	_, err := c.runRounds(t, preds, pools, theta)
+	return err
+}
+
+// runRounds commits the ε+1 replicas of t: one-to-one mapping for the
+// first theta rounds while eligible candidates remain, fully replicated
+// rounds otherwise. It returns the sum of the replica finish times.
+func (c *scheduler) runRounds(t dag.TaskID, preds []dag.Edge, pools [][]sched.Replica, theta int) (float64, error) {
+	locked := newProcSet(c.m)
+	for copyIdx := 0; copyIdx <= c.eps; copyIdx++ {
+		var po *o2oPlan
+		if copyIdx < theta {
+			var err error
+			if po, err = c.bestOneToOne(t, copyIdx, preds, pools, locked); err != nil {
+				return 0, err
+			}
+		}
+		if po != nil {
+			if err := c.commitOneToOne(t, copyIdx, po, pools, locked); err != nil {
+				return 0, err
+			}
+			continue
+		}
+		pf, err := c.bestFull(t, copyIdx, locked)
+		if err != nil {
+			return 0, err
+		}
+		if pf == nil {
+			return 0, fmt.Errorf("caft: no processor available for replica %d of task %d", copyIdx, t)
+		}
+		if err := c.commitFull(t, copyIdx, pf, locked); err != nil {
+			return 0, err
+		}
+	}
+	sum := 0.0
+	for _, r := range c.st.Reps[t] {
+		sum += r.Finish
+	}
+	return sum, nil
+}
+
+// headChoice records the source replica selected for one predecessor in
+// a one-to-one round.
+type headChoice struct {
+	rep     sched.Replica
+	predIdx int
+}
+
+// o2oPlan is the best candidate placement found by One-To-One-Mapping.
+type o2oPlan struct {
+	proc    int
+	heads   []headChoice
+	sources []sched.SourceSet
+	supp    procSet
+	finish  float64
+}
+
+// bestOneToOne evaluates One-To-One-Mapping (Algorithm 5.2) on every
+// unlocked candidate processor: per predecessor it selects the head
+// replica — the pool replica whose message would finish earliest on the
+// links (the sort of line 3), or a co-located replica if one exists —
+// simulates the mapping and returns the earliest-finishing plan, or nil
+// when no candidate is eligible.
+func (c *scheduler) bestOneToOne(t dag.TaskID, copyIdx int, preds []dag.Edge, pools [][]sched.Replica, locked procSet) (*o2oPlan, error) {
+	st := c.st
+	hosting := st.ProcsOf(t)
+	remaining := c.eps - copyIdx // replicas still to place after this one
+	var best *o2oPlan
+	for proc := 0; proc < c.m; proc++ {
+		if locked.has(proc) || hosting[proc] {
+			continue
+		}
+		heads, sources, supp, ok := c.planFor(proc, preds, pools, locked, remaining)
+		if !ok {
+			continue
+		}
+		rep, err := st.ProbeReplica(t, copyIdx, proc, sources)
+		if err != nil {
+			return nil, err
+		}
+		if best == nil || rep.Finish < best.finish {
+			best = &o2oPlan{proc: proc, heads: heads, sources: sources, supp: supp, finish: rep.Finish}
+		}
+	}
+	return best, nil
+}
+
+// commitOneToOne places the replica of a one-to-one plan, records its
+// support, locks P* together with the head footprints (eq. (7)) and
+// consumes the pool replicas that became unusable. A locked processor
+// can neither host another replica of t nor feed one, so no two
+// replicas of t ever share a point of failure.
+func (c *scheduler) commitOneToOne(t dag.TaskID, copyIdx int, pl *o2oPlan, pools [][]sched.Replica, locked procSet) error {
+	if _, err := c.st.PlaceReplica(t, copyIdx, pl.proc, pl.sources); err != nil {
+		return err
+	}
+	c.stats.OneToOneRounds++
+	repSupp := newProcSet(c.m)
+	repSupp.add(pl.proc)
+	for _, h := range pl.heads {
+		repSupp.union(c.support(h.rep))
+	}
+	c.supports[repKey{t, copyIdx}] = repSupp
+	locked.union(pl.supp)
+	for j := range pools {
+		kept := pools[j][:0]
+		for _, r := range pools[j] {
+			if !c.lockFootprint(r).intersects(locked) {
+				kept = append(kept, r)
+			}
+		}
+		pools[j] = kept
+	}
+	return nil
+}
+
+// planFor builds the one-to-one plan for a candidate processor and
+// checks feasibility: after locking the new replica's support, enough
+// processors must remain for the outstanding replicas (each needs at
+// least one processor outside the locked set). Earliest-arrival heads
+// are tried first; if their accumulated support exhausts the processor
+// budget, heads are reselected among trivial-support replicas only —
+// replicas that die only with their own processor — which keeps the
+// replica chains shallow on small platforms.
+func (c *scheduler) planFor(proc int, preds []dag.Edge, pools [][]sched.Replica, locked procSet, remaining int) ([]headChoice, []sched.SourceSet, procSet, bool) {
+	for _, trivialOnly := range []bool{false, true} {
+		heads, sources, ok := c.chooseHeads(proc, preds, pools, locked, trivialOnly)
+		if !ok {
+			continue
+		}
+		supp := newProcSet(c.m)
+		supp.add(proc)
+		for _, h := range heads {
+			supp.union(c.lockFootprint(h.rep))
+		}
+		if c.opts.Locking == SupportLocking {
+			after := locked.clone()
+			after.union(supp)
+			if c.m-after.count() < remaining {
+				continue
+			}
+		}
+		return heads, sources, supp, true
+	}
+	return nil, nil, procSet{}, false
+}
+
+// chooseHeads picks, for candidate processor proc, one head replica per
+// predecessor: a co-located replica when available (free intra transfer,
+// and the only safe edge out of proc per the paper's deadlock example),
+// otherwise the eligible singleton-pool replica with the earliest
+// tentative message arrival on proc. With trivialOnly, heads are
+// restricted to replicas whose support is their own processor. It
+// reports false when some predecessor has no eligible head.
+func (c *scheduler) chooseHeads(proc int, preds []dag.Edge, pools [][]sched.Replica, locked procSet, trivialOnly bool) ([]headChoice, []sched.SourceSet, bool) {
+	st := c.st
+	heads := make([]headChoice, 0, len(preds))
+	sources := make([]sched.SourceSet, 0, len(preds))
+	for j, e := range preds {
+		var chosen headChoice
+		found := false
+		// Prefer the earliest-finishing co-located replica whose own
+		// chain is still disjoint from the locked set.
+		for _, r := range st.Reps[e.From] {
+			if r.Proc != proc || c.lockFootprint(r).intersects(locked) {
+				continue
+			}
+			if trivialOnly && c.chained(r) {
+				continue
+			}
+			if !found || r.Finish < chosen.rep.Finish {
+				chosen = headChoice{rep: r, predIdx: j}
+				found = true
+			}
+		}
+		if !found {
+			bestArr := math.Inf(1)
+			for _, r := range pools[j] {
+				if c.lockFootprint(r).intersects(locked) {
+					continue
+				}
+				if trivialOnly && c.chained(r) {
+					continue
+				}
+				_, fin := st.ProbeComm(r.Proc, proc, r.Finish, e.Volume)
+				if fin < bestArr {
+					bestArr = fin
+					chosen = headChoice{rep: r, predIdx: j}
+					found = true
+				}
+			}
+		}
+		if !found {
+			return nil, nil, false
+		}
+		heads = append(heads, chosen)
+		sources = append(sources, sched.SourceSet{Pred: e.From, Volume: e.Volume, Sources: []sched.Replica{chosen.rep}})
+	}
+	return heads, sources, true
+}
+
+// fullPlan is the best fully replicated placement for one replica.
+type fullPlan struct {
+	proc    int
+	sources []sched.SourceSet
+	supp    procSet
+	finish  float64
+}
+
+// bestFull evaluates an FTSA-style round: inputs from every replica of
+// every predecessor, candidate processors restricted to unlocked ones
+// (relaxed to all processors not hosting t if locking exhausted the
+// platform), minimum finish time wins.
+//
+// The paper's intra-suppression rule ("no other copy needs to send to
+// P") is only safe as-is when the co-located replica dies exclusively
+// with its processor. A co-located replica fed through a one-to-one
+// chain can die while P lives. Two safe repairs exist, and the cheaper
+// one is taken per predecessor:
+//
+//   - inherit the chain: keep the suppression and extend this replica's
+//     support by the co-located replica's support (zero extra messages,
+//     but the support must stay disjoint from the locked set and leave
+//     enough processors for later rounds);
+//   - AllSend: keep the free intra transfer but let every remote replica
+//     of the predecessor send a backup (ε extra messages).
+func (c *scheduler) bestFull(t dag.TaskID, copyIdx int, locked procSet) (*fullPlan, error) {
+	st := c.st
+	base := st.FullSources(t)
+	hosting := st.ProcsOf(t)
+	remaining := c.eps - copyIdx
+	planFor := func(proc int) ([]sched.SourceSet, procSet) {
+		out := append([]sched.SourceSet(nil), base...)
+		supp := newProcSet(c.m)
+		supp.add(proc)
+		if c.opts.Locking == PaperLocking {
+			return out, supp // literal paper behavior (ablation)
+		}
+		for i := range out {
+			var co *sched.Replica
+			for k := range out[i].Sources {
+				if out[i].Sources[k].Proc == proc {
+					co = &out[i].Sources[k]
+					break
+				}
+			}
+			if co == nil || !c.chained(*co) {
+				continue
+			}
+			s := c.support(*co)
+			if !s.intersects(locked) {
+				after := locked.clone()
+				after.union(supp)
+				after.union(s)
+				if c.m-after.count() >= remaining {
+					supp.union(s)
+					continue
+				}
+			}
+			out[i].AllSend = true
+		}
+		return out, supp
+	}
+	run := func(skipLocked bool) (*fullPlan, error) {
+		var best *fullPlan
+		for proc := 0; proc < c.m; proc++ {
+			if hosting[proc] || (skipLocked && locked.has(proc)) {
+				continue
+			}
+			sources, supp := planFor(proc)
+			rep, err := st.ProbeReplica(t, copyIdx, proc, sources)
+			if err != nil {
+				return nil, err
+			}
+			if best == nil || rep.Finish < best.finish {
+				best = &fullPlan{proc: proc, sources: sources, supp: supp, finish: rep.Finish}
+			}
+		}
+		return best, nil
+	}
+	best, err := run(true)
+	if err != nil {
+		return nil, err
+	}
+	if best == nil {
+		if best, err = run(false); err != nil {
+			return nil, err
+		}
+	}
+	return best, nil
+}
+
+// commitFull places the replica of a fully replicated plan, records its
+// support when it inherited a chain, and locks its support.
+func (c *scheduler) commitFull(t dag.TaskID, copyIdx int, pl *fullPlan, locked procSet) error {
+	if _, err := c.st.PlaceReplica(t, copyIdx, pl.proc, pl.sources); err != nil {
+		return err
+	}
+	c.stats.FullRounds++
+	if pl.supp.count() > 1 {
+		c.supports[repKey{t, copyIdx}] = pl.supp
+	}
+	locked.union(pl.supp)
+	return nil
+}

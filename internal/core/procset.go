@@ -1,0 +1,72 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// procSet is a set of processor indices backed by a bit vector. CAFT
+// uses it to track the support of a replica — the set of processors
+// whose survival the replica's execution depends on — and the locked
+// set of Algorithm 5.2.
+type procSet struct {
+	words []uint64
+}
+
+func newProcSet(m int) procSet {
+	return procSet{words: make([]uint64, (m+63)/64)}
+}
+
+func (s procSet) clone() procSet {
+	return procSet{words: append([]uint64(nil), s.words...)}
+}
+
+func (s procSet) add(p int) {
+	s.words[p/64] |= 1 << (uint(p) % 64)
+}
+
+func (s procSet) has(p int) bool {
+	return s.words[p/64]&(1<<(uint(p)%64)) != 0
+}
+
+// union adds all members of o into s (in place).
+func (s procSet) union(o procSet) {
+	for i := range o.words {
+		s.words[i] |= o.words[i]
+	}
+}
+
+// intersects reports whether s and o share a member.
+func (s procSet) intersects(o procSet) bool {
+	n := len(s.words)
+	if len(o.words) < n {
+		n = len(o.words)
+	}
+	for i := 0; i < n; i++ {
+		if s.words[i]&o.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func (s procSet) count() int {
+	n := 0
+	for _, w := range s.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+func (s procSet) String() string {
+	var parts []string
+	for i, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			parts = append(parts, fmt.Sprintf("P%d", i*64+b))
+			w &^= 1 << uint(b)
+		}
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}

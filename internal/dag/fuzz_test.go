@@ -1,0 +1,43 @@
+package dag
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzUnmarshalJSON checks that arbitrary input never panics the DAG
+// decoder and that everything it accepts is a valid acyclic graph that
+// round-trips.
+func FuzzUnmarshalJSON(f *testing.F) {
+	seedGraphs := []string{
+		`{"tasks":["a","b"],"edges":[{"from":0,"to":1,"volume":2.5}]}`,
+		`{"tasks":[],"edges":[]}`,
+		`{"tasks":["x"],"edges":[{"from":0,"to":0,"volume":1}]}`,
+		`{"tasks":["a","b","c"],"edges":[{"from":0,"to":1,"volume":1},{"from":1,"to":2,"volume":1},{"from":2,"to":0,"volume":1}]}`,
+		`{"tasks":["a"],"edges":[{"from":0,"to":9,"volume":1}]}`,
+		`not json at all`,
+	}
+	for _, s := range seedGraphs {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var g DAG
+		if err := g.UnmarshalJSON(data); err != nil {
+			return // rejected input is fine; panics are not
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted graph fails validation: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := g.Write(&buf); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		g2, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if g2.NumTasks() != g.NumTasks() || g2.NumEdges() != g.NumEdges() {
+			t.Fatalf("round trip changed shape")
+		}
+	})
+}

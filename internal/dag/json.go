@@ -1,0 +1,70 @@
+package dag
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// jsonDAG is the wire format for DAG serialization.
+type jsonDAG struct {
+	Tasks []string   `json:"tasks"`
+	Edges []jsonEdge `json:"edges"`
+}
+
+type jsonEdge struct {
+	From   int     `json:"from"`
+	To     int     `json:"to"`
+	Volume float64 `json:"volume"`
+}
+
+// MarshalJSON encodes the DAG as {"tasks": [...names], "edges": [...]}.
+func (g *DAG) MarshalJSON() ([]byte, error) {
+	jd := jsonDAG{Tasks: g.names}
+	for _, e := range g.Edges() {
+		jd.Edges = append(jd.Edges, jsonEdge{From: int(e.From), To: int(e.To), Volume: e.Volume})
+	}
+	return json.Marshal(jd)
+}
+
+// UnmarshalJSON decodes a DAG produced by MarshalJSON and validates it.
+func (g *DAG) UnmarshalJSON(data []byte) error {
+	var jd jsonDAG
+	if err := json.Unmarshal(data, &jd); err != nil {
+		return err
+	}
+	ng := &DAG{}
+	for _, name := range jd.Tasks {
+		ng.AddTask(name)
+	}
+	for _, e := range jd.Edges {
+		if e.From < 0 || e.From >= len(jd.Tasks) || e.To < 0 || e.To >= len(jd.Tasks) {
+			return fmt.Errorf("dag: edge %d->%d out of range", e.From, e.To)
+		}
+		if e.From == e.To {
+			return fmt.Errorf("dag: self-loop on task %d", e.From)
+		}
+		ng.AddEdge(TaskID(e.From), TaskID(e.To), e.Volume)
+	}
+	if err := ng.Validate(); err != nil {
+		return err
+	}
+	*g = *ng
+	return nil
+}
+
+// Write encodes the DAG as indented JSON to w.
+func (g *DAG) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(g)
+}
+
+// Read decodes a DAG from JSON.
+func Read(r io.Reader) (*DAG, error) {
+	var g DAG
+	if err := json.NewDecoder(r).Decode(&g); err != nil {
+		return nil, err
+	}
+	return &g, nil
+}

@@ -1,0 +1,274 @@
+// Package expt reproduces the experimental study of Section 6 of the
+// paper: random task graphs with the paper's parameters are scheduled
+// by CAFT, FTSA and FTBAR (plus the fault-free references), replayed
+// through the crash simulator, and the per-granularity averages of the
+// normalized latency and of the fault-tolerance overhead are reported —
+// the data behind Figures 1-6.
+package expt
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"caft/internal/core"
+	"caft/internal/gen"
+	"caft/internal/platform"
+	"caft/internal/sched"
+	"caft/internal/sched/ftbar"
+	"caft/internal/sched/ftsa"
+	"caft/internal/sched/heft"
+	"caft/internal/sim"
+	"caft/internal/stats"
+	"caft/internal/timeline"
+)
+
+// GranularityA is the paper's first granularity family: [0.2, 2.0] in
+// increments of 0.2 (Figures 1-3).
+func GranularityA() []float64 {
+	out := make([]float64, 10)
+	for i := range out {
+		out[i] = 0.2 * float64(i+1)
+	}
+	return out
+}
+
+// GranularityB is the paper's second family: [1, 10] in increments of 1
+// (Figures 4-6).
+func GranularityB() []float64 {
+	out := make([]float64, 10)
+	for i := range out {
+		out[i] = float64(i + 1)
+	}
+	return out
+}
+
+// Config parameterizes one figure-style experiment.
+type Config struct {
+	M             int       // processors
+	Eps           int       // supported failures ε
+	Crashes       int       // processors actually crashed in the replay
+	Granularities []float64 // sweep values
+	Graphs        int       // random graphs per point (paper: 60)
+	Seed          int64
+	Params        gen.RandomParams
+	DelayLo       float64 // unit delay range (paper: [0.5, 1])
+	DelayHi       float64
+	Model         sched.Model
+	Policy        timeline.Policy
+	// Norm divides every latency before averaging. The paper plots a
+	// "normalized latency" without defining the normalization; any
+	// per-family constant preserves the shape, and we use the mean
+	// message volume (see DESIGN.md S2). Zero means DefaultNorm.
+	Norm float64
+	// CAFTOpts selects the CAFT variant under test (default portfolio +
+	// support locking).
+	CAFTOpts core.Options
+}
+
+// DefaultNorm is the mean of the paper's message-volume range [50,150].
+const DefaultNorm = 100.0
+
+// FigureConfig returns the configuration of paper figure n (1-6) with
+// the given number of graphs per point (pass 60 for the paper's setup).
+func FigureConfig(n, graphs int, seed int64) (Config, error) {
+	cfg := Config{
+		Graphs:  graphs,
+		Seed:    seed,
+		Params:  gen.DefaultParams,
+		DelayLo: 0.5, DelayHi: 1.0,
+		Model:  sched.OnePort,
+		Policy: timeline.Append,
+	}
+	switch n {
+	case 1:
+		cfg.M, cfg.Eps, cfg.Crashes, cfg.Granularities = 10, 1, 1, GranularityA()
+	case 2:
+		cfg.M, cfg.Eps, cfg.Crashes, cfg.Granularities = 10, 3, 2, GranularityA()
+	case 3:
+		cfg.M, cfg.Eps, cfg.Crashes, cfg.Granularities = 20, 5, 3, GranularityA()
+	case 4:
+		cfg.M, cfg.Eps, cfg.Crashes, cfg.Granularities = 10, 1, 1, GranularityB()
+	case 5:
+		cfg.M, cfg.Eps, cfg.Crashes, cfg.Granularities = 10, 3, 2, GranularityB()
+	case 6:
+		cfg.M, cfg.Eps, cfg.Crashes, cfg.Granularities = 20, 5, 3, GranularityB()
+	default:
+		return cfg, fmt.Errorf("expt: no figure %d in the paper", n)
+	}
+	return cfg, nil
+}
+
+// Point holds the averaged measurements at one granularity value. All
+// latencies are normalized (divided by cfg.Norm); overheads are in
+// percent relative to the fault-free CAFT latency (CAFT*), following
+// the paper's formula.
+type Point struct {
+	G float64
+
+	// Panel (a): latency with 0 crash, upper bounds, fault-free refs.
+	FTSA0, FTSAUB   float64
+	FTBAR0, FTBARUB float64
+	CAFT0, CAFTUB   float64
+	FFCAFT, FFFTBAR float64
+
+	// Panel (b): latency with crashes.
+	FTSAc, FTBARc, CAFTc float64
+
+	// Panel (c): average overhead (%).
+	OvFTSA0, OvFTSAc   float64
+	OvFTBAR0, OvFTBARc float64
+	OvCAFT0, OvCAFTc   float64
+
+	// Message counts (Prop. 5.1 discussion; not plotted in the paper's
+	// figures but central to its argument).
+	MsgCAFT, MsgFTSA, MsgFTBAR, MsgHEFT float64
+
+	// Dispersion of the headline series, for error bars.
+	CAFT0CI, FTSA0CI, FTBAR0CI float64
+
+	// TasksLost counts crash replays that lost a task entirely (always
+	// zero for the safe default variants; non-zero for the PaperLocking
+	// ablation). Such draws are excluded from the crash averages.
+	TasksLost int
+}
+
+// Instance bundles one generated problem.
+type Instance struct {
+	P *sched.Problem
+}
+
+// GenInstance generates one random problem with the config's parameters
+// at granularity g.
+func (cfg Config) GenInstance(rng *rand.Rand, g float64) Instance {
+	graph := gen.RandomLayered(rng, cfg.Params)
+	plat := platform.NewRandom(rng, cfg.M, cfg.DelayLo, cfg.DelayHi)
+	exec := platform.GenExecForGranularity(rng, graph, plat, g, platform.DefaultHeterogeneity)
+	return Instance{P: &sched.Problem{G: graph, Plat: plat, Exec: exec, Model: cfg.Model, Policy: cfg.Policy}}
+}
+
+// DrawCrashes draws cfg.Crashes distinct crashed processors.
+func (cfg Config) DrawCrashes(rng *rand.Rand) map[int]bool {
+	crashed := map[int]bool{}
+	for len(crashed) < cfg.Crashes && len(crashed) < cfg.M {
+		crashed[rng.Intn(cfg.M)] = true
+	}
+	return crashed
+}
+
+// Run sweeps the granularities and returns one Point per value. The
+// optional progress callback is invoked after each completed point.
+func (cfg Config) Run(progress func(Point)) ([]Point, error) {
+	if cfg.Norm == 0 {
+		cfg.Norm = DefaultNorm
+	}
+	points := make([]Point, 0, len(cfg.Granularities))
+	for gi, g := range cfg.Granularities {
+		pt, err := cfg.runPoint(g, rand.New(rand.NewSource(cfg.Seed+int64(gi)*1_000_003)))
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, pt)
+		if progress != nil {
+			progress(pt)
+		}
+	}
+	return points, nil
+}
+
+type series struct{ xs []float64 }
+
+func (s *series) add(x float64) { s.xs = append(s.xs, x) }
+func (s *series) mean() float64 { return stats.Mean(s.xs) }
+func (s *series) ci95() float64 { return stats.Summarize(s.xs).CI95 }
+
+func (cfg Config) runPoint(g float64, rng *rand.Rand) (Point, error) {
+	var (
+		ftsa0, ftsaUB, ftsaC    series
+		ftbar0, ftbarUB, ftbarC series
+		caft0, caftUB, caftC    series
+		ffCAFT, ffFTBAR         series
+		ovFTSA0, ovFTSAc        series
+		ovFTBAR0, ovFTBARc      series
+		ovCAFT0, ovCAFTc        series
+		msgC, msgF, msgB, msgH  series
+	)
+	lost := 0
+	for i := 0; i < cfg.Graphs; i++ {
+		inst := cfg.GenInstance(rng, g)
+		p := inst.P
+		crashed := cfg.DrawCrashes(rng)
+
+		// Fault-free references.
+		sHEFT, err := heft.Schedule(p, rng)
+		if err != nil {
+			return Point{}, err
+		}
+		star := sHEFT.ScheduledLatency() // CAFT*
+		sFB0, err := ftbar.Schedule(p, 0, rng)
+		if err != nil {
+			return Point{}, err
+		}
+
+		// Fault-tolerant schedules.
+		sFT, err := ftsa.Schedule(p, cfg.Eps, rng)
+		if err != nil {
+			return Point{}, err
+		}
+		sFB, err := ftbar.Schedule(p, cfg.Eps, rng)
+		if err != nil {
+			return Point{}, err
+		}
+		sCA, _, err := core.ScheduleOpts(p, cfg.Eps, rng, cfg.CAFTOpts)
+		if err != nil {
+			return Point{}, err
+		}
+
+		type meas struct {
+			s        *sched.Schedule
+			lat0, ub *series
+			latC     *series
+			ov0, ovC *series
+			msgs     *series
+		}
+		all := []meas{
+			{sFT, &ftsa0, &ftsaUB, &ftsaC, &ovFTSA0, &ovFTSAc, &msgF},
+			{sFB, &ftbar0, &ftbarUB, &ftbarC, &ovFTBAR0, &ovFTBARc, &msgB},
+			{sCA, &caft0, &caftUB, &caftC, &ovCAFT0, &ovCAFTc, &msgC},
+		}
+		for _, m := range all {
+			l0 := m.s.ScheduledLatency()
+			ub, err := sim.UpperBound(m.s)
+			if err != nil {
+				return Point{}, err
+			}
+			m.lat0.add(l0 / cfg.Norm)
+			m.ub.add(ub / cfg.Norm)
+			m.ov0.add(100 * (l0 - star) / star)
+			m.msgs.add(float64(m.s.MessageCount()))
+			lc, err := sim.CrashLatency(m.s, crashed)
+			if err != nil || math.IsInf(lc, 1) {
+				lost++
+				continue
+			}
+			m.latC.add(lc / cfg.Norm)
+			m.ovC.add(100 * (lc - star) / star)
+		}
+		ffCAFT.add(star / cfg.Norm)
+		ffFTBAR.add(sFB0.ScheduledLatency() / cfg.Norm)
+		msgH.add(float64(sHEFT.MessageCount()))
+	}
+	return Point{
+		G:     g,
+		FTSA0: ftsa0.mean(), FTSAUB: ftsaUB.mean(), FTSAc: ftsaC.mean(),
+		FTBAR0: ftbar0.mean(), FTBARUB: ftbarUB.mean(), FTBARc: ftbarC.mean(),
+		CAFT0: caft0.mean(), CAFTUB: caftUB.mean(), CAFTc: caftC.mean(),
+		FFCAFT: ffCAFT.mean(), FFFTBAR: ffFTBAR.mean(),
+		OvFTSA0: ovFTSA0.mean(), OvFTSAc: ovFTSAc.mean(),
+		OvFTBAR0: ovFTBAR0.mean(), OvFTBARc: ovFTBARc.mean(),
+		OvCAFT0: ovCAFT0.mean(), OvCAFTc: ovCAFTc.mean(),
+		MsgCAFT: msgC.mean(), MsgFTSA: msgF.mean(), MsgFTBAR: msgB.mean(), MsgHEFT: msgH.mean(),
+		CAFT0CI: caft0.ci95(), FTSA0CI: ftsa0.ci95(), FTBAR0CI: ftbar0.ci95(),
+		TasksLost: lost,
+	}, nil
+}

@@ -1,0 +1,219 @@
+package expt
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"caft/internal/core"
+	"caft/internal/dag"
+	"caft/internal/gen"
+	"caft/internal/platform"
+	"caft/internal/sched"
+	"caft/internal/sched/ftsa"
+	"caft/internal/sim"
+	"caft/internal/stats"
+	"caft/internal/timeline"
+	"caft/internal/topology"
+)
+
+// RunMessages reproduces the message-count argument of Proposition 5.1:
+// on outforests CAFT generates at most e(ε+1) messages while FTSA may
+// generate up to e(ε+1)²; on general random graphs CAFT still sends far
+// fewer messages. One TSV row per (family, ε).
+func RunMessages(w io.Writer, graphs int, seed int64) error {
+	fmt.Fprintf(w, "# Prop 5.1 message counts: m=10, %d graphs per row, seed=%d\n", graphs, seed)
+	fmt.Fprintln(w, "family\teps\tedges\tCAFT\tboundE(e+1)\tFTSA\tboundE(e+1)^2")
+	families := []struct {
+		name string
+		gen  func(rng *rand.Rand) *dag.DAG
+	}{
+		{"outforest", func(rng *rand.Rand) *dag.DAG { return gen.RandomOutForest(rng, 60, 2, 50, 150) }},
+		{"fork", func(rng *rand.Rand) *dag.DAG { return gen.Fork(30, 100) }},
+		{"random", func(rng *rand.Rand) *dag.DAG { return gen.RandomLayered(rng, gen.DefaultParams) }},
+	}
+	for _, fam := range families {
+		for eps := 0; eps <= 3; eps++ {
+			rng := rand.New(rand.NewSource(seed))
+			var edges, msgC, msgF stats64
+			for i := 0; i < graphs; i++ {
+				g := fam.gen(rng)
+				plat := platform.NewRandom(rng, 10, 0.5, 1.0)
+				exec := platform.GenExecForGranularity(rng, g, plat, 1.0, platform.DefaultHeterogeneity)
+				p := &sched.Problem{G: g, Plat: plat, Exec: exec, Model: sched.OnePort, Policy: timeline.Append}
+				sc, _, err := core.ScheduleOpts(p, eps, rng, core.Options{Greedy: true})
+				if err != nil {
+					return err
+				}
+				sf, err := ftsa.Schedule(p, eps, rng)
+				if err != nil {
+					return err
+				}
+				edges.add(float64(g.NumEdges()))
+				msgC.add(float64(sc.MessageCount()))
+				msgF.add(float64(sf.MessageCount()))
+			}
+			e := edges.mean()
+			fmt.Fprintf(w, "%s\t%d\t%.0f\t%.0f\t%.0f\t%.0f\t%.0f\n",
+				fam.name, eps, e, msgC.mean(), e*float64(eps+1), msgF.mean(), e*float64((eps+1)*(eps+1)))
+		}
+	}
+	return nil
+}
+
+type stats64 struct{ xs []float64 }
+
+func (s *stats64) add(x float64) { s.xs = append(s.xs, x) }
+func (s *stats64) mean() float64 { return stats.Mean(s.xs) }
+
+// RunAblation compares the CAFT variants (A1/A4 of DESIGN.md): the
+// resilient portfolio default, the greedy one-to-one mode, the
+// replicated-only mode and the literal paper-locking mode, reporting
+// normalized latency, message count and the fraction of random ε-crash
+// draws that lose a task entirely.
+func RunAblation(w io.Writer, graphs int, seed int64) error {
+	fmt.Fprintf(w, "# CAFT variant ablation: m=10, %d graphs per cell, 20 crash draws per graph, seed=%d\n", graphs, seed)
+	fmt.Fprintln(w, "eps\tg\tvariant\tlatency\tmessages\tlostPct")
+	variants := []struct {
+		name string
+		opts core.Options
+	}{
+		{"portfolio", core.Options{}},
+		{"greedy", core.Options{Greedy: true}},
+		{"full-only", core.Options{FullOnly: true}},
+		{"paper-locking", core.Options{Greedy: true, Locking: core.PaperLocking}},
+	}
+	for _, eps := range []int{1, 3} {
+		for _, g := range []float64{0.2, 1.0, 5.0} {
+			for _, v := range variants {
+				rng := rand.New(rand.NewSource(seed))
+				var lat, msg stats64
+				lost, draws := 0, 0
+				for i := 0; i < graphs; i++ {
+					graph := gen.RandomLayered(rng, gen.DefaultParams)
+					plat := platform.NewRandom(rng, 10, 0.5, 1.0)
+					exec := platform.GenExecForGranularity(rng, graph, plat, g, platform.DefaultHeterogeneity)
+					p := &sched.Problem{G: graph, Plat: plat, Exec: exec, Model: sched.OnePort, Policy: timeline.Append}
+					s, _, err := core.ScheduleOpts(p, eps, rng, v.opts)
+					if err != nil {
+						return err
+					}
+					lat.add(s.ScheduledLatency() / DefaultNorm)
+					msg.add(float64(s.MessageCount()))
+					for d := 0; d < 20; d++ {
+						crashed := map[int]bool{}
+						for len(crashed) < eps {
+							crashed[rng.Intn(10)] = true
+						}
+						draws++
+						if _, err := sim.CrashLatency(s, crashed); err != nil {
+							lost++
+						}
+					}
+				}
+				fmt.Fprintf(w, "%d\t%.1f\t%s\t%.2f\t%.0f\t%.1f\n",
+					eps, g, v.name, lat.mean(), msg.mean(), 100*float64(lost)/float64(draws))
+			}
+		}
+	}
+	return nil
+}
+
+// RunAccuracy reproduces the Sinnen-Sousa style accuracy argument that
+// motivates the paper (§3): schedules built under the contention-free
+// macro-dataflow model look fast on paper but much slower when their
+// communications are replayed under one-port constraints, while
+// contention-aware schedules keep their promises. One row per
+// granularity; latencies normalized.
+func RunAccuracy(w io.Writer, graphs int, seed int64) error {
+	fmt.Fprintf(w, "# schedule accuracy: m=10, eps=1, %d graphs per point, seed=%d\n", graphs, seed)
+	fmt.Fprintln(w, "g\tmacroEstimate\tmacroReplayed\tonePortAware\tmisprediction")
+	for _, g := range GranularityA() {
+		rng := rand.New(rand.NewSource(seed))
+		var est, real, aware stats64
+		for i := 0; i < graphs; i++ {
+			graph := gen.RandomLayered(rng, gen.DefaultParams)
+			plat := platform.NewRandom(rng, 10, 0.5, 1.0)
+			exec := platform.GenExecForGranularity(rng, graph, plat, g, platform.DefaultHeterogeneity)
+			macro := &sched.Problem{G: graph, Plat: plat, Exec: exec, Model: sched.MacroDataflow, Policy: timeline.Append}
+			sm, err := ftsa.Schedule(macro, 1, rng)
+			if err != nil {
+				return err
+			}
+			est.add(sm.ScheduledLatency() / DefaultNorm)
+			// Replay the same placements with one-port contention: the
+			// promised overlap of messages is serialized.
+			onePortView := *sm
+			pp := *macro
+			pp.Model = sched.OnePort
+			onePortView.P = &pp
+			r, err := sim.Replay(&onePortView, sim.Options{})
+			if err != nil {
+				return err
+			}
+			lat, err := r.Latency()
+			if err != nil {
+				return err
+			}
+			real.add(lat / DefaultNorm)
+			onePort := &sched.Problem{G: graph, Plat: plat, Exec: exec, Model: sched.OnePort, Policy: timeline.Append}
+			sa, err := ftsa.Schedule(onePort, 1, rng)
+			if err != nil {
+				return err
+			}
+			aware.add(sa.ScheduledLatency() / DefaultNorm)
+		}
+		mis := 0.0
+		if est.mean() > 0 {
+			mis = 100 * (real.mean() - est.mean()) / est.mean()
+		}
+		fmt.Fprintf(w, "%.1f\t%.2f\t%.2f\t%.2f\t%.0f%%\n", g, est.mean(), real.mean(), aware.mean(), mis)
+	}
+	return nil
+}
+
+// RunSparse exercises the conclusion's sparse-interconnect extension
+// (X1): CAFT on a clique versus routed ring, star, mesh, torus and
+// hypercube topologies of 8 processors, ε = 1.
+func RunSparse(w io.Writer, graphs int, seed int64) error {
+	const m = 8
+	fmt.Fprintf(w, "# sparse topologies: m=%d, eps=1, g=1.0, %d graphs per row, seed=%d\n", m, graphs, seed)
+	fmt.Fprintln(w, "topology\tdiameter\tlatency\tmessages\tlost1crashPct")
+	topos := []struct {
+		name string
+		net  sched.Network
+		diam int
+	}{
+		{"clique", nil, 1},
+		{"hypercube", topology.Hypercube(3, 0.75), topology.Hypercube(3, 0.75).Diameter()},
+		{"torus", topology.Torus2D(2, 4, 0.75), topology.Torus2D(2, 4, 0.75).Diameter()},
+		{"mesh", topology.Mesh2D(2, 4, 0.75), topology.Mesh2D(2, 4, 0.75).Diameter()},
+		{"star", topology.Star(m, 0.75), topology.Star(m, 0.75).Diameter()},
+		{"ring", topology.Ring(m, 0.75), topology.Ring(m, 0.75).Diameter()},
+	}
+	for _, tp := range topos {
+		rng := rand.New(rand.NewSource(seed))
+		var lat, msg stats64
+		lost, draws := 0, 0
+		for i := 0; i < graphs; i++ {
+			graph := gen.RandomLayered(rng, gen.DefaultParams)
+			plat := platform.New(m, 0.75)
+			exec := platform.GenExecForGranularity(rng, graph, plat, 1.0, platform.DefaultHeterogeneity)
+			p := &sched.Problem{G: graph, Plat: plat, Exec: exec, Model: sched.OnePort, Policy: timeline.Append, Net: tp.net}
+			s, err := core.Schedule(p, 1, rng)
+			if err != nil {
+				return err
+			}
+			lat.add(s.ScheduledLatency() / DefaultNorm)
+			msg.add(float64(s.MessageCount()))
+			for proc := 0; proc < m; proc++ {
+				draws++
+				if _, err := sim.CrashLatency(s, map[int]bool{proc: true}); err != nil {
+					lost++
+				}
+			}
+		}
+		fmt.Fprintf(w, "%s\t%d\t%.2f\t%.0f\t%.1f\n", tp.name, tp.diam, lat.mean(), msg.mean(), 100*float64(lost)/float64(draws))
+	}
+	return nil
+}

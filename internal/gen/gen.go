@@ -1,0 +1,236 @@
+// Package gen builds the task graphs used by the paper's experiments and
+// by the examples: the random layered DAGs of Section 6 (tasks in
+// [80,120], per-task degree in [1,3], message volumes in [50,150]) plus
+// the structured families the propositions reason about (forks,
+// outforests, chains, joins, diamonds) and two realistic workflow shapes
+// (a Montage-like mosaicking pipeline and an FFT butterfly).
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"caft/internal/dag"
+)
+
+// RandomParams configures RandomLayered. The defaults (DefaultParams)
+// follow Section 6 of the paper.
+type RandomParams struct {
+	MinTasks, MaxTasks   int     // v drawn uniformly from [MinTasks, MaxTasks]
+	MinDegree, MaxDegree int     // out-degree per non-exit task, uniform
+	MinVolume, MaxVolume float64 // edge data volume, uniform
+}
+
+// DefaultParams mirrors the paper: v in [80,120], degree in [1,3],
+// volume in [50,150].
+var DefaultParams = RandomParams{
+	MinTasks: 80, MaxTasks: 120,
+	MinDegree: 1, MaxDegree: 3,
+	MinVolume: 50, MaxVolume: 150,
+}
+
+func (p RandomParams) volume(rng *rand.Rand) float64 {
+	return p.MinVolume + rng.Float64()*(p.MaxVolume-p.MinVolume)
+}
+
+// RandomLayered generates a random DAG in the style used by the paper's
+// simulations: tasks are ordered 0..v-1; every non-exit task receives an
+// out-degree drawn from [MinDegree, MaxDegree] and sends to distinct
+// random later tasks (within a bounded window, which keeps the graph
+// layered rather than degenerate); every non-entry task is guaranteed at
+// least one predecessor. Edges carry volumes drawn from
+// [MinVolume, MaxVolume].
+func RandomLayered(rng *rand.Rand, p RandomParams) *dag.DAG {
+	if p.MinTasks <= 0 || p.MaxTasks < p.MinTasks {
+		panic(fmt.Sprintf("gen: bad task range [%d,%d]", p.MinTasks, p.MaxTasks))
+	}
+	v := p.MinTasks
+	if p.MaxTasks > p.MinTasks {
+		v += rng.Intn(p.MaxTasks - p.MinTasks + 1)
+	}
+	g := dag.New(v)
+	// Forward window: restricting targets to a window of ~v/8 keeps a
+	// layered structure with depth around 8-15 for v~100, matching the
+	// "1-3 edges per task" graphs in the scheduling literature.
+	window := v / 8
+	if window < 4 {
+		window = 4
+	}
+	hasPred := make([]bool, v)
+	for t := 0; t < v-1; t++ {
+		deg := p.MinDegree
+		if p.MaxDegree > p.MinDegree {
+			deg += rng.Intn(p.MaxDegree - p.MinDegree + 1)
+		}
+		hi := t + window
+		if hi > v-1 {
+			hi = v - 1
+		}
+		span := hi - t // number of candidate targets in (t, hi]
+		if deg > span {
+			deg = span
+		}
+		seen := map[int]bool{}
+		for d := 0; d < deg; d++ {
+			to := t + 1 + rng.Intn(span)
+			if seen[to] {
+				continue
+			}
+			seen[to] = true
+			g.AddEdge(dag.TaskID(t), dag.TaskID(to), p.volume(rng))
+			hasPred[to] = true
+		}
+	}
+	// Guarantee every non-entry-candidate task has a predecessor so the
+	// graph does not fall apart into isolated tail tasks.
+	for t := 1; t < v; t++ {
+		if !hasPred[t] {
+			lo := t - window
+			if lo < 0 {
+				lo = 0
+			}
+			from := lo + rng.Intn(t-lo)
+			g.AddEdge(dag.TaskID(from), dag.TaskID(t), p.volume(rng))
+			hasPred[t] = true
+		}
+	}
+	return g
+}
+
+// Fork returns a fork graph: one root sending to n leaves. Fork graphs
+// are the simplest outforest: Proposition 5.1 bounds CAFT's message
+// count on them by e(ε+1).
+func Fork(n int, volume float64) *dag.DAG {
+	g := dag.New(n + 1)
+	for i := 1; i <= n; i++ {
+		g.AddEdge(0, dag.TaskID(i), volume)
+	}
+	return g
+}
+
+// Join returns the mirror of Fork: n sources feeding one sink.
+func Join(n int, volume float64) *dag.DAG {
+	g := dag.New(n + 1)
+	sink := dag.TaskID(n)
+	for i := 0; i < n; i++ {
+		g.AddEdge(dag.TaskID(i), sink, volume)
+	}
+	return g
+}
+
+// Chain returns a linear chain of n tasks.
+func Chain(n int, volume float64) *dag.DAG {
+	g := dag.New(n)
+	for i := 0; i < n-1; i++ {
+		g.AddEdge(dag.TaskID(i), dag.TaskID(i+1), volume)
+	}
+	return g
+}
+
+// RandomOutForest returns a random forest of out-trees: every task has
+// in-degree at most one (|Γ−(t)| ≤ 1), the family covered by
+// Proposition 5.1. roots trees are grown over n total tasks.
+func RandomOutForest(rng *rand.Rand, n, roots int, minVol, maxVol float64) *dag.DAG {
+	if roots < 1 {
+		roots = 1
+	}
+	if roots > n {
+		roots = n
+	}
+	g := dag.New(n)
+	for t := roots; t < n; t++ {
+		parent := rng.Intn(t)
+		g.AddEdge(dag.TaskID(parent), dag.TaskID(t), minVol+rng.Float64()*(maxVol-minVol))
+	}
+	return g
+}
+
+// Diamond returns a width x depth diamond lattice: a source fans out to
+// `width` parallel chains of length `depth` which join into a sink.
+func Diamond(width, depth int, volume float64) *dag.DAG {
+	g := dag.New(2 + width*depth)
+	src, sink := dag.TaskID(0), dag.TaskID(1+width*depth)
+	id := func(w, d int) dag.TaskID { return dag.TaskID(1 + w*depth + d) }
+	for w := 0; w < width; w++ {
+		g.AddEdge(src, id(w, 0), volume)
+		for d := 0; d < depth-1; d++ {
+			g.AddEdge(id(w, d), id(w, d+1), volume)
+		}
+		g.AddEdge(id(w, depth-1), sink, volume)
+	}
+	return g
+}
+
+// Stencil returns a depth x width grid where each interior task depends
+// on its "left" and "up-left" neighbors of the previous row — the
+// dependence pattern of 1-D stencil sweeps and dynamic-programming
+// wavefronts.
+func Stencil(rows, cols int, volume float64) *dag.DAG {
+	g := dag.New(rows * cols)
+	id := func(r, c int) dag.TaskID { return dag.TaskID(r*cols + c) }
+	for r := 1; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			g.AddEdge(id(r-1, c), id(r, c), volume)
+			if c > 0 {
+				g.AddEdge(id(r-1, c-1), id(r, c), volume)
+			}
+		}
+	}
+	return g
+}
+
+// Montage returns a workflow shaped like the Montage astronomy
+// mosaicking pipeline, a standard benchmark DAG for heterogeneous
+// scheduling: nproj parallel reprojections, pairwise background fits
+// between neighbors, a concentrating model fit, parallel background
+// corrections, and a final co-add.
+func Montage(nproj int, volume float64) *dag.DAG {
+	if nproj < 2 {
+		nproj = 2
+	}
+	g := &dag.DAG{}
+	proj := make([]dag.TaskID, nproj)
+	for i := range proj {
+		proj[i] = g.AddTask(fmt.Sprintf("mProject%d", i))
+	}
+	diff := make([]dag.TaskID, nproj-1)
+	for i := range diff {
+		diff[i] = g.AddTask(fmt.Sprintf("mDiffFit%d", i))
+		g.AddEdge(proj[i], diff[i], volume)
+		g.AddEdge(proj[i+1], diff[i], volume)
+	}
+	model := g.AddTask("mConcatFit")
+	for _, d := range diff {
+		g.AddEdge(d, model, volume/2)
+	}
+	bg := make([]dag.TaskID, nproj)
+	for i := range bg {
+		bg[i] = g.AddTask(fmt.Sprintf("mBackground%d", i))
+		g.AddEdge(model, bg[i], volume/4)
+		g.AddEdge(proj[i], bg[i], volume)
+	}
+	add := g.AddTask("mAdd")
+	for _, b := range bg {
+		g.AddEdge(b, add, volume)
+	}
+	shrink := g.AddTask("mShrink")
+	g.AddEdge(add, shrink, volume)
+	return g
+}
+
+// FFT returns the task graph of a radix-2 FFT butterfly over 2^k points:
+// k+1 ranks of 2^k tasks where rank r task i depends on tasks i and
+// i XOR 2^r of the previous rank.
+func FFT(k int, volume float64) *dag.DAG {
+	n := 1 << k
+	g := dag.New((k + 1) * n)
+	id := func(rank, i int) dag.TaskID { return dag.TaskID(rank*n + i) }
+	for rank := 1; rank <= k; rank++ {
+		bit := 1 << (rank - 1)
+		for i := 0; i < n; i++ {
+			g.AddEdge(id(rank-1, i), id(rank, i), volume)
+			g.AddEdge(id(rank-1, i^bit), id(rank, i), volume)
+		}
+	}
+	return g
+}

@@ -1,0 +1,191 @@
+// Package ftbar implements FTBAR (Fault Tolerance Based Active
+// Replication) of Girault, Kalla, Sighireanu, Sorel (DSN'03), the second
+// baseline of the CAFT paper, adapted to the one-port model as described
+// in Section 4.3 of the paper.
+//
+// FTBAR is built on the schedule-pressure list scheduler of Sorel's
+// "algorithm architecture adequation": at step n, for every free task ti
+// and processor pj the schedule pressure
+//
+//	σ(n)(ti,pj) = S(n)(ti,pj) + s̄(ti) − R(n−1)
+//
+// measures how much scheduling ti on pj would lengthen the schedule,
+// where S is the earliest start time of ti on pj, s̄ the static
+// bottom-up latest start (we use the bottom level bℓ(ti), the remaining
+// path to an exit), and R(n−1) the schedule length after the previous
+// step. Each free task selects the Npf+1 processors minimizing its
+// pressure, the most urgent (task, processor) pair — the one with the
+// maximum pressure among those selected sets — wins, and the winning
+// task is replicated on its Npf+1 processors. Like FTSA, every replica
+// of a predecessor communicates with every replica of its successors.
+//
+// FTBAR additionally applies the Minimize-Start-Time procedure of
+// Ahmad and Kwok: after selecting the processor of a replica, it checks
+// whether duplicating the replica's critical predecessor — the one
+// whose message gates its start time — onto the same processor would
+// let the replica start earlier, and commits the duplication when it
+// does. We implement the single-level (non-recursive) variant; see
+// DESIGN.md S3.
+package ftbar
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"caft/internal/dag"
+	"caft/internal/sched"
+)
+
+// Schedule runs FTBAR with npf tolerated failures (npf+1 replicas per
+// task). npf = 0 is the fault-free FTBAR baseline of the paper's
+// figures.
+func Schedule(p *sched.Problem, npf int, rng *rand.Rand) (*sched.Schedule, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if npf < 0 || npf+1 > p.Plat.M {
+		return nil, fmt.Errorf("ftbar: cannot place %d replicas on %d processors", npf+1, p.Plat.M)
+	}
+	st := sched.NewState(p)
+	l := sched.NewLister(p, rng)
+	prevLen := 0.0 // R(n-1)
+	for l.Remaining() > 0 {
+		free := append([]dag.TaskID(nil), l.Free()...)
+		if len(free) == 0 {
+			return nil, fmt.Errorf("ftbar: no free task but %d remain", l.Remaining())
+		}
+		var (
+			urgent     dag.TaskID
+			urgentProc []procPressure
+			urgentSig  float64
+			ties       int
+		)
+		for _, t := range free {
+			procs, sig, err := bestProcessors(st, l, t, npf, prevLen)
+			if err != nil {
+				return nil, err
+			}
+			switch {
+			case ties == 0 || sig > urgentSig:
+				urgent, urgentProc, urgentSig, ties = t, procs, sig, 1
+			case sig == urgentSig:
+				ties++
+				if rng.Intn(ties) == 0 {
+					urgent, urgentProc = t, procs
+				}
+			}
+		}
+		for k := 0; k <= npf; k++ {
+			rep, err := placeWithMST(st, urgent, k, urgentProc[k].proc)
+			if err != nil {
+				return nil, err
+			}
+			if rep.Finish > prevLen {
+				prevLen = rep.Finish
+			}
+		}
+		l.Take(urgent)
+		l.MarkScheduled(urgent, sched.EarliestFinish(st.Reps[urgent]))
+	}
+	return st.Snapshot(), nil
+}
+
+// placeWithMST places replica `copy` of task t on proc, applying the
+// single-level Minimize-Start-Time refinement: if duplicating the
+// critical predecessor (the one whose earliest message arrival gates
+// the replica's start) onto proc lets the replica finish earlier, the
+// duplicate is committed alongside. Duplicates are extra replicas of
+// the predecessor and only increase redundancy.
+func placeWithMST(st *sched.State, t dag.TaskID, copy, proc int) (sched.Replica, error) {
+	sources := st.FullSources(t)
+	base, err := st.ProbeReplica(t, copy, proc, sources)
+	if err != nil {
+		return sched.Replica{}, err
+	}
+	if crit, ok := criticalPred(st, proc, sources, base.Start); ok {
+		if cand, dupFinish, err2 := probeWithDuplicate(st, t, copy, proc, crit); err2 == nil && cand.Finish < base.Finish {
+			// Commit the duplicate, then the replica; FullSources now
+			// includes the duplicate, so the intra rule kicks in.
+			dupCopy := len(st.Reps[crit])
+			if _, err := st.PlaceReplica(crit, dupCopy, proc, st.FullSources(crit)); err != nil {
+				return sched.Replica{}, err
+			}
+			_ = dupFinish
+			return st.PlaceReplica(t, copy, proc, st.FullSources(t))
+		}
+	}
+	return st.PlaceReplica(t, copy, proc, sources)
+}
+
+// criticalPred returns the predecessor whose earliest message arrival
+// equals the replica's start time — the input that gates it — when the
+// start is communication-bound and the predecessor has no replica on
+// proc yet.
+func criticalPred(st *sched.State, proc int, sources []sched.SourceSet, start float64) (dag.TaskID, bool) {
+	for _, set := range sources {
+		best := math.Inf(1)
+		onProc := false
+		for _, src := range set.Sources {
+			if src.Proc == proc {
+				onProc = true
+				break
+			}
+			_, fin := st.ProbeComm(src.Proc, proc, src.Finish, set.Volume)
+			if fin < best {
+				best = fin
+			}
+		}
+		if !onProc && math.Abs(best-start) <= sched.Eps {
+			return set.Pred, true
+		}
+	}
+	return 0, false
+}
+
+// probeWithDuplicate simulates duplicating pred onto proc followed by
+// the replica placement and returns the resulting replica.
+func probeWithDuplicate(st *sched.State, t dag.TaskID, copy, proc int, pred dag.TaskID) (sched.Replica, float64, error) {
+	c := st.Clone()
+	dupCopy := len(c.Reps[pred])
+	dup, err := c.PlaceReplica(pred, dupCopy, proc, c.FullSources(pred))
+	if err != nil {
+		return sched.Replica{}, 0, err
+	}
+	rep, err := c.PlaceReplica(t, copy, proc, c.FullSources(t))
+	if err != nil {
+		return sched.Replica{}, 0, err
+	}
+	return rep, dup.Finish, nil
+}
+
+type procPressure struct {
+	proc     int
+	pressure float64
+}
+
+// bestProcessors returns the npf+1 processors with the minimum schedule
+// pressure for t, in increasing pressure order, and the task's urgency:
+// the maximum pressure within that selected set.
+func bestProcessors(st *sched.State, l *sched.Lister, t dag.TaskID, npf int, prevLen float64) ([]procPressure, float64, error) {
+	sources := st.FullSources(t)
+	m := st.P.Plat.M
+	all := make([]procPressure, 0, m)
+	bl := l.BottomLevel(t)
+	for proc := 0; proc < m; proc++ {
+		rep, err := st.ProbeReplica(t, 0, proc, sources)
+		if err != nil {
+			return nil, 0, err
+		}
+		all = append(all, procPressure{proc: proc, pressure: rep.Start + bl - prevLen})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].pressure != all[j].pressure {
+			return all[i].pressure < all[j].pressure
+		}
+		return all[i].proc < all[j].proc
+	})
+	sel := all[:npf+1]
+	return sel, sel[len(sel)-1].pressure, nil
+}

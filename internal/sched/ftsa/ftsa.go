@@ -1,0 +1,81 @@
+// Package ftsa implements FTSA (Fault Tolerant Scheduling Algorithm) of
+// Benoit, Hakem, Robert [4], the fault-tolerant extension of HEFT used
+// as the primary baseline of the CAFT paper, adapted to the one-port
+// model as described in Section 4.3.
+//
+// At each step, the free task with the highest priority (tℓ+bℓ) is
+// selected and its mapping simulated on every processor; the ε+1
+// processors allowing the minimum finish time receive one replica each.
+// Every replica of a predecessor sends its result to every replica of
+// the successor (unless a replica of the predecessor is co-located, in
+// which case the input is free), so the schedule carries at most
+// e(ε+1)² messages.
+package ftsa
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"caft/internal/dag"
+	"caft/internal/sched"
+)
+
+// Schedule runs FTSA with the given number ε of tolerated failures.
+// ε = 0 degenerates to (one-port) HEFT.
+func Schedule(p *sched.Problem, eps int, rng *rand.Rand) (*sched.Schedule, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if eps < 0 || eps+1 > p.Plat.M {
+		return nil, fmt.Errorf("ftsa: cannot place %d replicas on %d processors", eps+1, p.Plat.M)
+	}
+	st := sched.NewState(p)
+	l := sched.NewLister(p, rng)
+	for {
+		t, ok := l.Pop()
+		if !ok {
+			break
+		}
+		if err := scheduleTask(st, t, eps); err != nil {
+			return nil, err
+		}
+		l.MarkScheduled(t, sched.EarliestFinish(st.Reps[t]))
+	}
+	if l.Remaining() != 0 {
+		return nil, fmt.Errorf("ftsa: %d tasks never became free (cyclic graph?)", l.Remaining())
+	}
+	return st.Snapshot(), nil
+}
+
+type candidate struct {
+	proc   int
+	finish float64
+}
+
+// scheduleTask simulates t on every processor and commits replicas to
+// the ε+1 best ones in increasing simulated-finish order.
+func scheduleTask(st *sched.State, t dag.TaskID, eps int) error {
+	sources := st.FullSources(t)
+	m := st.P.Plat.M
+	cands := make([]candidate, 0, m)
+	for proc := 0; proc < m; proc++ {
+		rep, err := st.ProbeReplica(t, 0, proc, sources)
+		if err != nil {
+			return err
+		}
+		cands = append(cands, candidate{proc: proc, finish: rep.Finish})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].finish != cands[j].finish {
+			return cands[i].finish < cands[j].finish
+		}
+		return cands[i].proc < cands[j].proc
+	})
+	for k := 0; k <= eps; k++ {
+		if _, err := st.PlaceReplica(t, k, cands[k].proc, sources); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,22 @@
+// Package heft exposes the fault-free reference scheduler: HEFT
+// (Topcuoglu, Hariri, Wu), the algorithm the paper's fault-free CAFT
+// reduces to ("the fault-free version of CAFT reduces to an
+// implementation of HEFT, the reference heuristic in the literature").
+//
+// It is FTSA with ε = 0: one replica per task on the processor giving
+// the earliest finish time, under the same communication model and
+// priority function as the fault-tolerant schedulers. Its latency is the
+// CAFT* denominator of the paper's overhead metric.
+package heft
+
+import (
+	"math/rand"
+
+	"caft/internal/sched"
+	"caft/internal/sched/ftsa"
+)
+
+// Schedule runs one-port (or macro-dataflow, per p.Model) HEFT.
+func Schedule(p *sched.Problem, rng *rand.Rand) (*sched.Schedule, error) {
+	return ftsa.Schedule(p, 0, rng)
+}

@@ -1,0 +1,58 @@
+package heft
+
+import (
+	"math/rand"
+	"testing"
+
+	"caft/internal/gen"
+	"caft/internal/platform"
+	"caft/internal/sched"
+	"caft/internal/timeline"
+)
+
+func TestHEFTSingleReplicaPerTask(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := gen.RandomLayered(rng, gen.RandomParams{MinTasks: 40, MaxTasks: 50, MinDegree: 1, MaxDegree: 3, MinVolume: 50, MaxVolume: 150})
+	plat := platform.NewRandom(rng, 6, 0.5, 1.0)
+	exec := platform.GenExecForGranularity(rng, g, plat, 1.0, platform.DefaultHeterogeneity)
+	p := &sched.Problem{G: g, Plat: plat, Exec: exec, Model: sched.OnePort, Policy: timeline.Append}
+	s, err := Schedule(p, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.ReplicaCount() != g.NumTasks() {
+		t.Fatalf("replicas = %d, want %d (one per task)", s.ReplicaCount(), g.NumTasks())
+	}
+	// No replication: every edge carries at most one message.
+	if s.MessageCount() > g.NumEdges() {
+		t.Fatalf("messages = %d > edges %d", s.MessageCount(), g.NumEdges())
+	}
+}
+
+func TestHEFTCoLocatesCheapChains(t *testing.T) {
+	g := gen.Chain(5, 500) // enormous messages: must stay on one processor
+	plat := platform.New(4, 1)
+	exec := platform.NewExecMatrix(5, 4)
+	for ti := range exec {
+		for k := range exec[ti] {
+			exec[ti][k] = 2
+		}
+	}
+	p := &sched.Problem{G: g, Plat: plat, Exec: exec, Model: sched.OnePort, Policy: timeline.Append}
+	s, err := Schedule(p, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc := s.Reps[0][0].Proc
+	for ti := range s.Reps {
+		if s.Reps[ti][0].Proc != proc {
+			t.Fatalf("chain split across processors despite huge comm cost")
+		}
+	}
+	if s.ScheduledLatency() != 10 {
+		t.Fatalf("latency = %v, want 10", s.ScheduledLatency())
+	}
+}

@@ -1,0 +1,96 @@
+package sched
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"caft/internal/dag"
+	"caft/internal/platform"
+	"caft/internal/timeline"
+)
+
+// jsonSchedule is the wire format of a Schedule together with its
+// problem. Sparse networks (Problem.Net) are not serialized: a loaded
+// schedule is always interpreted over the clique network, which is the
+// paper's platform model.
+type jsonSchedule struct {
+	Graph    *dag.DAG    `json:"graph"`
+	Delay    [][]float64 `json:"delay"`
+	Exec     [][]float64 `json:"exec"`
+	Model    string      `json:"model"`
+	Policy   string      `json:"policy"`
+	Replicas []Replica   `json:"replicas"`
+	Comms    []Comm      `json:"comms"`
+}
+
+// WriteJSON encodes the schedule (including its problem) as JSON.
+func (s *Schedule) WriteJSON(w io.Writer) error {
+	if s.P.Net != nil {
+		return fmt.Errorf("sched: schedules over sparse networks cannot be serialized")
+	}
+	js := jsonSchedule{
+		Graph:  s.P.G,
+		Delay:  s.P.Plat.Delay,
+		Exec:   s.P.Exec,
+		Model:  s.P.Model.String(),
+		Policy: s.P.Policy.String(),
+	}
+	for t := range s.Reps {
+		js.Replicas = append(js.Replicas, s.Reps[t]...)
+	}
+	js.Comms = s.Comms
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(js)
+}
+
+// ReadJSON decodes a schedule written by WriteJSON and validates it.
+func ReadJSON(r io.Reader) (*Schedule, error) {
+	var js jsonSchedule
+	if err := json.NewDecoder(r).Decode(&js); err != nil {
+		return nil, err
+	}
+	if js.Graph == nil {
+		return nil, fmt.Errorf("sched: schedule JSON missing graph")
+	}
+	m := len(js.Delay)
+	p := &Problem{
+		G:    js.Graph,
+		Plat: &platform.Platform{M: m, Delay: js.Delay},
+		Exec: js.Exec,
+	}
+	switch js.Model {
+	case OnePort.String(), "":
+		p.Model = OnePort
+	case MacroDataflow.String():
+		p.Model = MacroDataflow
+	default:
+		return nil, fmt.Errorf("sched: unknown model %q", js.Model)
+	}
+	switch js.Policy {
+	case timeline.Append.String(), "":
+		p.Policy = timeline.Append
+	case timeline.Insertion.String():
+		p.Policy = timeline.Insertion
+	default:
+		return nil, fmt.Errorf("sched: unknown policy %q", js.Policy)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Schedule{P: p, Reps: make([][]Replica, js.Graph.NumTasks()), Comms: js.Comms}
+	for _, rep := range js.Replicas {
+		if rep.Task < 0 || int(rep.Task) >= js.Graph.NumTasks() {
+			return nil, fmt.Errorf("sched: replica of unknown task %d", rep.Task)
+		}
+		if rep.Proc < 0 || rep.Proc >= m {
+			return nil, fmt.Errorf("sched: replica on unknown processor %d", rep.Proc)
+		}
+		s.Reps[rep.Task] = append(s.Reps[rep.Task], rep)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("sched: loaded schedule invalid: %w", err)
+	}
+	return s, nil
+}

@@ -1,0 +1,82 @@
+package sched
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"caft/internal/gen"
+)
+
+func buildSmallSchedule(t *testing.T) *Schedule {
+	t.Helper()
+	g := gen.Join(2, 4)
+	p := prob(g, 3, 1)
+	st := NewState(p)
+	if _, err := st.PlaceReplica(0, 0, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.PlaceReplica(1, 0, 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.PlaceReplica(2, 0, 2, st.FullSources(2)); err != nil {
+		t.Fatal(err)
+	}
+	return st.Snapshot()
+}
+
+func TestScheduleJSONRoundTrip(t *testing.T) {
+	s := buildSmallSchedule(t)
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s2.ScheduledLatency()-s.ScheduledLatency()) > Eps {
+		t.Fatalf("latency changed: %v vs %v", s2.ScheduledLatency(), s.ScheduledLatency())
+	}
+	if s2.MessageCount() != s.MessageCount() || s2.ReplicaCount() != s.ReplicaCount() {
+		t.Fatal("counts changed across round trip")
+	}
+	if s2.P.Model != OnePort {
+		t.Fatalf("model = %v", s2.P.Model)
+	}
+}
+
+func TestReadJSONRejectsCorruption(t *testing.T) {
+	s := buildSmallSchedule(t)
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.String()
+
+	cases := map[string]string{
+		"missing graph":  `{"delay":[[0]],"exec":[[1]]}`,
+		"unknown model":  strings.Replace(good, `"model": "one-port"`, `"model": "psychic"`, 1),
+		"unknown policy": strings.Replace(good, `"policy": "append"`, `"policy": "chaos"`, 1),
+		"not json":       "{",
+	}
+	for name, raw := range cases {
+		if _, err := ReadJSON(strings.NewReader(raw)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestReadJSONValidatesSchedule(t *testing.T) {
+	s := buildSmallSchedule(t)
+	// Corrupt a replica so the loaded schedule violates precedence.
+	s.Reps[2][0].Start, s.Reps[2][0].Finish = 0, 1
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadJSON(&buf); err == nil {
+		t.Fatal("accepted invalid schedule")
+	}
+}

@@ -1,0 +1,138 @@
+package sched
+
+import (
+	"math/rand"
+
+	"caft/internal/dag"
+)
+
+// Lister maintains the free-task list α of the list-scheduling loop
+// (paper Algorithm 5.1): a task is free when all of its predecessors
+// have been scheduled. The priority of a free task is tℓ(t) + bℓ(t)
+// where path lengths use average execution costs over processors and
+// average communication costs over links (paper §5, citing HEFT).
+// Top levels are updated dynamically as predecessors get scheduled,
+// using the actual earliest finish of the scheduled task; bottom levels
+// are static. Ties are broken randomly (paper: "ties are broken
+// randomly") with the caller-provided source for reproducibility.
+type Lister struct {
+	g         *dag.DAG
+	bl        []float64
+	tl        []float64
+	meanComm  func(dag.Edge) float64
+	free      []dag.TaskID
+	unsched   []int // unscheduled predecessor count
+	scheduled []bool
+	remaining int
+	rng       *rand.Rand
+}
+
+// NewLister builds the lister for a problem. rng is used only for tie
+// breaking and may not be nil.
+func NewLister(p *Problem, rng *rand.Rand) *Lister {
+	g := p.G
+	meanExec := p.Exec.Mean()
+	meanDelay := p.Network().MeanUnitDelay()
+	comm := func(e dag.Edge) float64 { return e.Volume * meanDelay }
+	l := &Lister{
+		g:         g,
+		bl:        g.BottomLevels(meanExec, comm),
+		tl:        g.TopLevels(meanExec, comm),
+		meanComm:  comm,
+		unsched:   make([]int, g.NumTasks()),
+		scheduled: make([]bool, g.NumTasks()),
+		remaining: g.NumTasks(),
+		rng:       rng,
+	}
+	for t := 0; t < g.NumTasks(); t++ {
+		l.unsched[t] = g.InDegree(dag.TaskID(t))
+		if l.unsched[t] == 0 {
+			l.free = append(l.free, dag.TaskID(t))
+		}
+	}
+	return l
+}
+
+// Remaining returns the number of tasks not yet marked scheduled.
+func (l *Lister) Remaining() int { return l.remaining }
+
+// Free returns the current free tasks (unordered). The slice aliases
+// internal storage and is invalidated by Pop/Take/MarkScheduled.
+func (l *Lister) Free() []dag.TaskID { return l.free }
+
+// Priority returns the current priority tℓ(t)+bℓ(t) of a task.
+func (l *Lister) Priority(t dag.TaskID) float64 { return l.tl[t] + l.bl[t] }
+
+// BottomLevel returns the static bottom level of a task.
+func (l *Lister) BottomLevel(t dag.TaskID) float64 { return l.bl[t] }
+
+// Pop removes and returns the free task with the highest priority
+// (H(α)); ties are broken randomly. It returns false when no task is
+// free.
+func (l *Lister) Pop() (dag.TaskID, bool) {
+	if len(l.free) == 0 {
+		return 0, false
+	}
+	best, ties := 0, 1
+	for i := 1; i < len(l.free); i++ {
+		pi, pb := l.Priority(l.free[i]), l.Priority(l.free[best])
+		switch {
+		case pi > pb:
+			best, ties = i, 1
+		case pi == pb:
+			ties++
+			if l.rng.Intn(ties) == 0 {
+				best = i
+			}
+		}
+	}
+	t := l.free[best]
+	l.free = append(l.free[:best], l.free[best+1:]...)
+	return t, true
+}
+
+// Take removes a specific task from the free list (used by FTBAR, which
+// chooses among all free tasks with its own urgency rule). It reports
+// whether the task was free.
+func (l *Lister) Take(t dag.TaskID) bool {
+	for i, f := range l.free {
+		if f == t {
+			l.free = append(l.free[:i], l.free[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// MarkScheduled records that t has been scheduled with the given
+// earliest replica finish time, updates the dynamic top levels of its
+// successors and releases newly freed successors into the free list.
+func (l *Lister) MarkScheduled(t dag.TaskID, earliestFinish float64) {
+	if l.scheduled[t] {
+		panic("sched: task scheduled twice")
+	}
+	l.scheduled[t] = true
+	l.remaining--
+	for _, e := range l.g.Succ(t) {
+		cand := earliestFinish + l.meanComm(e)
+		if cand > l.tl[e.To] {
+			l.tl[e.To] = cand
+		}
+		l.unsched[e.To]--
+		if l.unsched[e.To] == 0 {
+			l.free = append(l.free, e.To)
+		}
+	}
+}
+
+// EarliestFinish returns min over replicas of finish for a task's
+// placed replicas; helper for MarkScheduled callers.
+func EarliestFinish(reps []Replica) float64 {
+	min := reps[0].Finish
+	for _, r := range reps[1:] {
+		if r.Finish < min {
+			min = r.Finish
+		}
+	}
+	return min
+}

@@ -1,0 +1,275 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"caft/internal/dag"
+	"caft/internal/timeline"
+)
+
+// Replica is one scheduled copy of a task. Copy indexes the ε+1 replicas
+// of the task (0-based). Start/Finish are the times the scheduler
+// committed to; the runtime replay in package sim may move them when
+// processors crash.
+type Replica struct {
+	Task   dag.TaskID
+	Copy   int
+	Proc   int
+	Start  float64
+	Finish float64
+	Seq    int32
+}
+
+// Comm is a scheduled data transfer along a precedence edge From->To,
+// from replica (From, SrcCopy) on SrcProc to replica (To, DstCopy) on
+// DstProc. Intra communications (co-located replicas) have zero duration
+// and occupy no resources. Start/Finish cover the occupation of the send
+// port, the link(s) and the receive port (unified interval model, see
+// DESIGN.md S1).
+type Comm struct {
+	From, To         dag.TaskID
+	SrcCopy, DstCopy int
+	SrcProc, DstProc int
+	Volume           float64
+	Dur              float64
+	Start, Finish    float64
+	Intra            bool
+	Seq              int32
+}
+
+// Schedule is the immutable result of a scheduling algorithm: the placed
+// replicas of every task and every scheduled communication.
+type Schedule struct {
+	P     *Problem
+	Reps  [][]Replica // indexed by task
+	Comms []Comm
+}
+
+// Eps is the comparison tolerance for floating-point schedule times.
+const Eps = 1e-6
+
+// ScheduledLatency returns the latency the scheduler committed to with
+// zero crashes: the latest time at which at least one replica of each
+// task has been computed (paper §4.2) — max over tasks of the minimum
+// replica finish time.
+func (s *Schedule) ScheduledLatency() float64 {
+	lat := 0.0
+	for t := range s.Reps {
+		if len(s.Reps[t]) == 0 {
+			return math.Inf(1)
+		}
+		min := math.Inf(1)
+		for _, r := range s.Reps[t] {
+			if r.Finish < min {
+				min = r.Finish
+			}
+		}
+		if min > lat {
+			lat = min
+		}
+	}
+	return lat
+}
+
+// MakespanAll returns the completion time of the very last replica.
+func (s *Schedule) MakespanAll() float64 {
+	m := 0.0
+	for t := range s.Reps {
+		for _, r := range s.Reps[t] {
+			if r.Finish > m {
+				m = r.Finish
+			}
+		}
+	}
+	return m
+}
+
+// MessageCount returns the number of inter-processor messages in the
+// schedule (intra-processor transfers are free and not counted). This is
+// the quantity bounded by e(ε+1) for CAFT on outforests (Prop. 5.1) and
+// by e(ε+1)² for FTSA/FTBAR.
+func (s *Schedule) MessageCount() int {
+	n := 0
+	for _, c := range s.Comms {
+		if !c.Intra {
+			n++
+		}
+	}
+	return n
+}
+
+// ReplicaCount returns the total number of placed replicas.
+func (s *Schedule) ReplicaCount() int {
+	n := 0
+	for t := range s.Reps {
+		n += len(s.Reps[t])
+	}
+	return n
+}
+
+// FindReplica returns the replica (t, copy) or nil.
+func (s *Schedule) FindReplica(t dag.TaskID, copy int) *Replica {
+	for i := range s.Reps[t] {
+		if s.Reps[t][i].Copy == copy {
+			return &s.Reps[t][i]
+		}
+	}
+	return nil
+}
+
+// Validate checks that the schedule is well formed and obeys the
+// communication model:
+//
+//   - every task has at least one replica; replicas of a task occupy
+//     pairwise distinct processors (space exclusion);
+//   - replica durations match E(t,P);
+//   - every communication starts at or after its source replica's finish
+//     and matches the placement of its endpoint replicas;
+//   - every replica has, for each predecessor, at least one input
+//     (communication or intra transfer) arriving by its start time;
+//   - under the one-port model, the send-port, receive-port and link
+//     occupations of all communications are pairwise non-overlapping
+//     (constraints (1), (2), (3) of the paper) and task executions do
+//     not overlap per processor.
+func (s *Schedule) Validate() error {
+	p := s.P
+	if len(s.Reps) != p.G.NumTasks() {
+		return fmt.Errorf("schedule: %d tasks recorded, want %d", len(s.Reps), p.G.NumTasks())
+	}
+	for t := range s.Reps {
+		if len(s.Reps[t]) == 0 {
+			return fmt.Errorf("schedule: task %d has no replica", t)
+		}
+		seen := map[int]bool{}
+		for _, r := range s.Reps[t] {
+			if r.Task != dag.TaskID(t) {
+				return fmt.Errorf("schedule: replica of task %d filed under %d", r.Task, t)
+			}
+			if seen[r.Proc] {
+				return fmt.Errorf("schedule: task %d has two replicas on P%d", t, r.Proc)
+			}
+			seen[r.Proc] = true
+			want := p.Exec[t][r.Proc]
+			if math.Abs((r.Finish-r.Start)-want) > Eps {
+				return fmt.Errorf("schedule: replica (%d,%d) duration %v, want %v", t, r.Copy, r.Finish-r.Start, want)
+			}
+		}
+	}
+	// Index comms per destination replica.
+	type repKey struct {
+		t    dag.TaskID
+		copy int
+	}
+	inputs := map[repKey]map[dag.TaskID]float64{} // earliest arrival per pred
+	for i, c := range s.Comms {
+		src := s.FindReplica(c.From, c.SrcCopy)
+		dst := s.FindReplica(c.To, c.DstCopy)
+		if src == nil || dst == nil {
+			return fmt.Errorf("schedule: comm %d references missing replica", i)
+		}
+		if src.Proc != c.SrcProc || dst.Proc != c.DstProc {
+			return fmt.Errorf("schedule: comm %d processor mismatch", i)
+		}
+		if c.Intra {
+			if c.SrcProc != c.DstProc {
+				return fmt.Errorf("schedule: intra comm %d crosses processors", i)
+			}
+		} else if c.SrcProc == c.DstProc {
+			return fmt.Errorf("schedule: inter comm %d within P%d", i, c.SrcProc)
+		}
+		if c.Start < src.Finish-Eps {
+			return fmt.Errorf("schedule: comm %d starts %v before source finish %v", i, c.Start, src.Finish)
+		}
+		k := repKey{c.To, c.DstCopy}
+		if inputs[k] == nil {
+			inputs[k] = map[dag.TaskID]float64{}
+		}
+		if prev, ok := inputs[k][c.From]; !ok || c.Finish < prev {
+			inputs[k][c.From] = c.Finish
+		}
+	}
+	// Every replica must have one input per predecessor by its start.
+	for t := range s.Reps {
+		for _, r := range s.Reps[t] {
+			for _, e := range p.G.Pred(dag.TaskID(t)) {
+				arr, ok := inputs[repKey{dag.TaskID(t), r.Copy}][e.From]
+				if !ok {
+					return fmt.Errorf("schedule: replica (%d,%d) has no input for predecessor %d", t, r.Copy, e.From)
+				}
+				if arr > r.Start+Eps {
+					return fmt.Errorf("schedule: replica (%d,%d) starts %v before input from %d at %v", t, r.Copy, r.Start, e.From, arr)
+				}
+			}
+		}
+	}
+	if p.Model == OnePort {
+		if err := s.validateOnePort(); err != nil {
+			return err
+		}
+	}
+	return s.validateCompute()
+}
+
+func (s *Schedule) validateCompute() error {
+	m := s.P.Plat.M
+	per := make([][]timeline.Interval, m)
+	for t := range s.Reps {
+		for _, r := range s.Reps[t] {
+			per[r.Proc] = append(per[r.Proc], timeline.Interval{Start: r.Start, End: r.Finish, Owner: r.Seq})
+		}
+	}
+	for proc, ivs := range per {
+		if err := nonOverlap(ivs); err != nil {
+			return fmt.Errorf("schedule: compute P%d: %w", proc, err)
+		}
+	}
+	return nil
+}
+
+func (s *Schedule) validateOnePort() error {
+	m := s.P.Plat.M
+	net := s.P.Network()
+	send := make([][]timeline.Interval, m)
+	recv := make([][]timeline.Interval, m)
+	link := make([][]timeline.Interval, net.NumLinks())
+	for _, c := range s.Comms {
+		if c.Intra {
+			continue
+		}
+		iv := timeline.Interval{Start: c.Start, End: c.Finish, Owner: c.Seq}
+		send[c.SrcProc] = append(send[c.SrcProc], iv)
+		recv[c.DstProc] = append(recv[c.DstProc], iv)
+		for _, l := range net.Route(c.SrcProc, c.DstProc) {
+			link[l] = append(link[l], iv)
+		}
+	}
+	for proc, ivs := range send {
+		if err := nonOverlap(ivs); err != nil {
+			return fmt.Errorf("schedule: send port P%d: %w", proc, err)
+		}
+	}
+	for proc, ivs := range recv {
+		if err := nonOverlap(ivs); err != nil {
+			return fmt.Errorf("schedule: recv port P%d: %w", proc, err)
+		}
+	}
+	for l, ivs := range link {
+		if err := nonOverlap(ivs); err != nil {
+			return fmt.Errorf("schedule: link %d: %w", l, err)
+		}
+	}
+	return nil
+}
+
+func nonOverlap(ivs []timeline.Interval) error {
+	sort.Slice(ivs, func(i, j int) bool { return ivs[i].Start < ivs[j].Start })
+	for i := 1; i < len(ivs); i++ {
+		if ivs[i].Start < ivs[i-1].End-Eps {
+			return fmt.Errorf("intervals [%v,%v) and [%v,%v) overlap",
+				ivs[i-1].Start, ivs[i-1].End, ivs[i].Start, ivs[i].End)
+		}
+	}
+	return nil
+}

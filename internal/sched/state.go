@@ -1,0 +1,346 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"caft/internal/dag"
+	"caft/internal/timeline"
+)
+
+// State is the mutable resource state a scheduler builds a schedule in:
+// per-processor compute, send-port and receive-port timelines plus one
+// timeline per directed network link. Schedulers simulate candidate
+// placements with ProbeReplica and commit the best one with
+// PlaceReplica.
+//
+// Timelines are stored in one flat slice: [0,m) compute, [m,2m) send
+// ports, [2m,3m) receive ports, [3m,3m+L) links. Probes under the
+// Append policy run on a lightweight overlay of per-timeline ready
+// times (a timeline's whole state under Append is its ready time),
+// which avoids cloning interval lists in the schedulers' inner loops;
+// under the Insertion policy probes fall back to full clones.
+type State struct {
+	P     *Problem
+	net   Network
+	m     int
+	tls   []timeline.Timeline
+	Reps  [][]Replica
+	Comms []Comm
+	seq   int32
+
+	// probe overlay (Append policy only)
+	probe bool
+	ready []float64
+}
+
+// NewState returns an empty state for the problem.
+func NewState(p *Problem) *State {
+	m := p.Plat.M
+	net := p.Network()
+	return &State{
+		P:    p,
+		net:  net,
+		m:    m,
+		tls:  make([]timeline.Timeline, 3*m+net.NumLinks()),
+		Reps: make([][]Replica, p.G.NumTasks()),
+	}
+}
+
+func (st *State) computeID(proc int) int { return proc }
+func (st *State) sendID(proc int) int    { return st.m + proc }
+func (st *State) recvID(proc int) int    { return 2*st.m + proc }
+func (st *State) linkID(l int) int       { return 3*st.m + l }
+
+// Clone deep-copies the state.
+func (st *State) Clone() *State {
+	c := &State{P: st.P, net: st.net, m: st.m, seq: st.seq}
+	c.tls = make([]timeline.Timeline, len(st.tls))
+	for i := range st.tls {
+		c.tls[i] = *st.tls[i].Clone()
+	}
+	c.Reps = make([][]Replica, len(st.Reps))
+	for t := range st.Reps {
+		c.Reps[t] = append([]Replica(nil), st.Reps[t]...)
+	}
+	c.Comms = append([]Comm(nil), st.Comms...)
+	if st.probe {
+		c.probe = true
+		c.ready = append([]float64(nil), st.ready...)
+	}
+	return c
+}
+
+// cloneForProbe returns a state suitable for what-if placement: cheap
+// ready-time overlay under Append, full clone under Insertion. The
+// returned state shares Reps/Comms storage read-only; placements on it
+// are not recorded.
+func (st *State) cloneForProbe() *State {
+	if st.P.Policy == timeline.Append {
+		ready := make([]float64, len(st.tls))
+		if st.probe {
+			copy(ready, st.ready)
+		} else {
+			for i := range st.tls {
+				ready[i] = st.tls[i].Ready()
+			}
+		}
+		return &State{
+			P: st.P, net: st.net, m: st.m, tls: st.tls,
+			Reps: st.Reps, seq: st.seq,
+			probe: true, ready: ready,
+		}
+	}
+	c := st.Clone()
+	c.probe = true
+	return c
+}
+
+// earliest returns the earliest start >= ready for a reservation of dur
+// on timeline id.
+func (st *State) earliest(id int, ready, dur float64) float64 {
+	if st.probe && st.ready != nil {
+		if r := st.ready[id]; r > ready {
+			return r
+		}
+		return ready
+	}
+	return st.tls[id].EarliestSlot(ready, dur, st.P.Policy)
+}
+
+// reserve books [start, start+dur) on timeline id.
+func (st *State) reserve(id int, start, dur float64, owner int32) {
+	if st.probe && st.ready != nil {
+		if end := start + dur; end > st.ready[id] {
+			st.ready[id] = end
+		}
+		return
+	}
+	st.tls[id].MustAdd(start, dur, owner)
+}
+
+// Snapshot freezes the state into an immutable Schedule.
+func (st *State) Snapshot() *Schedule {
+	s := &Schedule{P: st.P, Reps: make([][]Replica, len(st.Reps))}
+	for t := range st.Reps {
+		s.Reps[t] = append([]Replica(nil), st.Reps[t]...)
+	}
+	s.Comms = append([]Comm(nil), st.Comms...)
+	return s
+}
+
+// ProcsOf returns the set of processors hosting a replica of t.
+func (st *State) ProcsOf(t dag.TaskID) map[int]bool {
+	out := map[int]bool{}
+	for _, r := range st.Reps[t] {
+		out[r.Proc] = true
+	}
+	return out
+}
+
+// SourceSet names, for one predecessor edge of the task being placed,
+// the replicas allowed to send the edge's data.
+//
+// By default a co-located source suppresses all other transfers of the
+// set (the paper's §6 rule: if a replica of the predecessor lives on the
+// target processor, no other copy needs to send there). AllSend disables
+// the suppression: the co-located replica still provides a free intra
+// transfer but every remote source sends as well. CAFT needs this when
+// the co-located replica's survival depends on more than its own
+// processor — it can die while the target processor lives, so remote
+// backups must still be scheduled.
+type SourceSet struct {
+	Pred    dag.TaskID
+	Volume  float64
+	Sources []Replica
+	AllSend bool
+}
+
+// FullSources returns one SourceSet per predecessor of t containing all
+// currently placed replicas of that predecessor — the FTSA/FTBAR
+// replication pattern in which every replica of a predecessor
+// communicates with every replica of its successors.
+func (st *State) FullSources(t dag.TaskID) []SourceSet {
+	preds := st.P.G.Pred(t)
+	out := make([]SourceSet, len(preds))
+	for i, e := range preds {
+		out[i] = SourceSet{Pred: e.From, Volume: e.Volume, Sources: st.Reps[e.From]}
+	}
+	return out
+}
+
+// commonSlot finds the earliest start >= ready at which an interval of
+// length dur fits simultaneously in all the given timelines, under the
+// state's reservation policy. The fixpoint loop terminates because each
+// round either leaves the candidate unchanged (success) or strictly
+// increases it past a busy interval.
+func (st *State) commonSlot(ready, dur float64, ids []int) float64 {
+	s := ready
+	for {
+		next := s
+		for _, id := range ids {
+			next = st.earliest(id, next, dur)
+		}
+		if next == s {
+			return s
+		}
+		s = next
+	}
+}
+
+// commResources returns the timeline IDs a transfer src->dst occupies.
+func (st *State) commResources(src, dst int) []int {
+	ids := []int{st.sendID(src), st.recvID(dst)}
+	for _, l := range st.net.Route(src, dst) {
+		ids = append(ids, st.linkID(l))
+	}
+	return ids
+}
+
+// ProbeComm returns the earliest (start, finish) of a transfer of volume
+// units from src (data ready at readyAt) to dst, without reserving
+// anything. Under the macro-dataflow model there is no contention and
+// the transfer starts exactly at readyAt.
+func (st *State) ProbeComm(src, dst int, readyAt, volume float64) (start, finish float64) {
+	if src == dst {
+		return readyAt, readyAt
+	}
+	dur := st.net.Dur(src, dst, volume)
+	if st.P.Model == MacroDataflow {
+		return readyAt, readyAt + dur
+	}
+	s := st.commonSlot(readyAt, dur, st.commResources(src, dst))
+	return s, s + dur
+}
+
+// placeComm reserves the transfer and records it (recording is skipped
+// in probe mode). The caller passes the source replica and destination
+// task/copy for bookkeeping.
+func (st *State) placeComm(srcRep Replica, to dag.TaskID, dstCopy, dst int, volume float64) Comm {
+	st.seq++
+	c := Comm{
+		From: srcRep.Task, To: to,
+		SrcCopy: srcRep.Copy, DstCopy: dstCopy,
+		SrcProc: srcRep.Proc, DstProc: dst,
+		Volume: volume,
+		Seq:    st.seq,
+	}
+	switch {
+	case srcRep.Proc == dst:
+		c.Intra = true
+		c.Start, c.Finish = srcRep.Finish, srcRep.Finish
+	case st.P.Model == MacroDataflow:
+		c.Dur = st.net.Dur(srcRep.Proc, dst, volume)
+		c.Start, c.Finish = srcRep.Finish, srcRep.Finish+c.Dur
+	default:
+		c.Dur = st.net.Dur(srcRep.Proc, dst, volume)
+		ids := st.commResources(srcRep.Proc, dst)
+		c.Start = st.commonSlot(srcRep.Finish, c.Dur, ids)
+		c.Finish = c.Start + c.Dur
+		for _, id := range ids {
+			st.reserve(id, c.Start, c.Dur, c.Seq)
+		}
+	}
+	if !st.probe {
+		st.Comms = append(st.Comms, c)
+	}
+	return c
+}
+
+// PlaceReplica schedules copy `copy` of task t on processor proc,
+// placing the communications implied by the source sets, and returns the
+// placed replica.
+//
+// Semantics per predecessor:
+//   - if any source replica is co-located with proc, the input is an
+//     intra-processor transfer available at that replica's finish time;
+//     unless AllSend is set, no other source sends (paper §6 note);
+//   - otherwise every replica in the source set sends; transfers are
+//     placed in non-decreasing order of their tentative finish time
+//     (the sort of eq. (6)) and the input is available at the earliest
+//     arrival.
+//
+// The replica's start time is the earliest slot on the processor's
+// compute timeline at or after all inputs are available (eq. (5)).
+func (st *State) PlaceReplica(t dag.TaskID, copy, proc int, sources []SourceSet) (Replica, error) {
+	if len(sources) != st.P.G.InDegree(t) {
+		return Replica{}, fmt.Errorf("sched: task %d needs %d source sets, got %d", t, st.P.G.InDegree(t), len(sources))
+	}
+	for _, r := range st.Reps[t] {
+		if r.Proc == proc {
+			return Replica{}, fmt.Errorf("sched: task %d already has a replica on P%d", t, proc)
+		}
+	}
+	type pendingComm struct {
+		setIdx    int
+		src       Replica
+		tentative float64
+	}
+	var pending []pendingComm
+	// arrival[i] is the earliest availability of predecessor i's data.
+	arrival := make([]float64, len(sources))
+	for i := range arrival {
+		arrival[i] = math.Inf(1)
+	}
+	for i, set := range sources {
+		if len(set.Sources) == 0 {
+			return Replica{}, fmt.Errorf("sched: empty source set for predecessor %d of task %d", set.Pred, t)
+		}
+		// Co-located source? Use the earliest-finishing one, free.
+		intra := -1
+		for j, srcRep := range set.Sources {
+			if srcRep.Proc == proc && (intra < 0 || srcRep.Finish < set.Sources[intra].Finish) {
+				intra = j
+			}
+		}
+		if intra >= 0 {
+			srcRep := set.Sources[intra]
+			st.placeComm(srcRep, t, copy, proc, set.Volume)
+			arrival[i] = srcRep.Finish
+			if !set.AllSend {
+				continue
+			}
+		}
+		for _, srcRep := range set.Sources {
+			if srcRep.Proc == proc {
+				continue // intra transfer already recorded
+			}
+			_, fin := st.ProbeComm(srcRep.Proc, proc, srcRep.Finish, set.Volume)
+			pending = append(pending, pendingComm{setIdx: i, src: srcRep, tentative: fin})
+		}
+	}
+	// Serialize transfers in non-decreasing tentative finish order
+	// (deterministic tie break on order of appearance).
+	sort.SliceStable(pending, func(i, j int) bool { return pending[i].tentative < pending[j].tentative })
+	for _, pc := range pending {
+		c := st.placeComm(pc.src, t, copy, proc, sources[pc.setIdx].Volume)
+		if c.Finish < arrival[pc.setIdx] {
+			arrival[pc.setIdx] = c.Finish
+		}
+	}
+	ready := 0.0
+	for i := range sources {
+		if math.IsInf(arrival[i], 1) {
+			return Replica{}, fmt.Errorf("sched: no input arrived for predecessor %d of task %d", sources[i].Pred, t)
+		}
+		if arrival[i] > ready {
+			ready = arrival[i]
+		}
+	}
+	exec := st.P.Exec[t][proc]
+	start := st.earliest(st.computeID(proc), ready, exec)
+	st.seq++
+	rep := Replica{Task: t, Copy: copy, Proc: proc, Start: start, Finish: start + exec, Seq: st.seq}
+	st.reserve(st.computeID(proc), start, exec, rep.Seq)
+	if !st.probe {
+		st.Reps[t] = append(st.Reps[t], rep)
+	}
+	return rep, nil
+}
+
+// ProbeReplica simulates PlaceReplica without mutating the state and
+// returns the resulting replica.
+func (st *State) ProbeReplica(t dag.TaskID, copy, proc int, sources []SourceSet) (Replica, error) {
+	return st.cloneForProbe().PlaceReplica(t, copy, proc, sources)
+}

@@ -1,0 +1,77 @@
+package sim
+
+import (
+	"fmt"
+
+	"caft/internal/sched"
+)
+
+// ReplayTimed replays a schedule under timed fail-stop failures: each
+// entry of crashTimes maps a processor to the instant it permanently
+// stops. Work the processor completed before that instant survives —
+// a replica counts as executed only if it finishes no later than the
+// crash, and a message is delivered only if its transfer completes
+// before both its sender's and its receiver's crash instants.
+//
+// A static crash (Replay with Options.Crashed) is the special case
+// crashTime = 0. Replay with no crashes is the special case of an empty
+// map. Timed semantics require a fixpoint: killing an operation frees
+// its resources, which can pull other operations earlier and let them
+// beat the deadline, so the dead set is grown iteratively — starting
+// from the optimistic no-extra-deaths schedule — until no surviving
+// operation violates a crash instant. The result is the least such dead
+// set under the optimistic ordering, matching an execution in which the
+// system never waits for work that will never arrive.
+func ReplayTimed(s *sched.Schedule, crashTimes map[int]float64, sem Semantics) (*Result, error) {
+	deadReps := map[[2]int]bool{}
+	deadComms := map[int32]bool{}
+	limit := s.ReplicaCount() + len(s.Comms) + 2
+	for iter := 0; iter < limit; iter++ {
+		res, err := replayOnce(s, Options{Sem: sem}, deadReps, deadComms)
+		if err != nil {
+			return nil, err
+		}
+		changed := false
+		for t := range res.Reps {
+			for _, o := range res.Reps[t] {
+				if !o.Alive {
+					continue
+				}
+				if tau, ok := crashTimes[o.Rep.Proc]; ok && o.Finish > tau+sched.Eps {
+					deadReps[[2]int{int(o.Rep.Task), o.Rep.Copy}] = true
+					changed = true
+				}
+			}
+		}
+		for _, o := range res.Comms {
+			if !o.Alive {
+				continue
+			}
+			deadline, has := crashTimes[o.Comm.SrcProc], false
+			if _, ok := crashTimes[o.Comm.SrcProc]; ok {
+				has = true
+			}
+			if tau, ok := crashTimes[o.Comm.DstProc]; ok && (!has || tau < deadline) {
+				deadline, has = tau, true
+			}
+			if has && o.Finish > deadline+sched.Eps {
+				deadComms[o.Comm.Seq] = true
+				changed = true
+			}
+		}
+		if !changed {
+			return res, nil
+		}
+	}
+	return nil, fmt.Errorf("sim: timed-crash fixpoint did not converge")
+}
+
+// CrashLatencyAt replays with timed crashes and returns the achieved
+// latency.
+func CrashLatencyAt(s *sched.Schedule, crashTimes map[int]float64) (float64, error) {
+	r, err := ReplayTimed(s, crashTimes, FirstArrival)
+	if err != nil {
+		return 0, err
+	}
+	return r.Latency()
+}

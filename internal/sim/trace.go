@@ -1,0 +1,64 @@
+package sim
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// WriteTraceCSV exports a replay result as a CSV event trace ordered by
+// actual start time: one row per surviving operation with its kind
+// (exec/comm/intra), task identifiers, resources and times. Dead
+// operations are emitted with state "dead" and empty times, so crash
+// cascades are visible in the trace.
+func (r *Result) WriteTraceCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"kind", "task", "copy", "to", "toCopy", "proc", "dstProc", "start", "finish", "state"}); err != nil {
+		return err
+	}
+	type row struct {
+		start float64
+		alive bool
+		rec   []string
+	}
+	var rows []row
+	f := func(v float64) string { return strconv.FormatFloat(v, 'f', -1, 64) }
+	for t := range r.Reps {
+		for _, o := range r.Reps[t] {
+			rec := []string{"exec", fmt.Sprint(o.Rep.Task), fmt.Sprint(o.Rep.Copy), "", "",
+				fmt.Sprint(o.Rep.Proc), "", "", "", "dead"}
+			if o.Alive {
+				rec[7], rec[8], rec[9] = f(o.Start), f(o.Finish), "done"
+			}
+			rows = append(rows, row{start: o.Start, alive: o.Alive, rec: rec})
+		}
+	}
+	for _, o := range r.Comms {
+		kind := "comm"
+		if o.Comm.Intra {
+			kind = "intra"
+		}
+		rec := []string{kind, fmt.Sprint(o.Comm.From), fmt.Sprint(o.Comm.SrcCopy),
+			fmt.Sprint(o.Comm.To), fmt.Sprint(o.Comm.DstCopy),
+			fmt.Sprint(o.Comm.SrcProc), fmt.Sprint(o.Comm.DstProc), "", "", "dead"}
+		if o.Alive {
+			rec[7], rec[8], rec[9] = f(o.Start), f(o.Finish), "done"
+		}
+		rows = append(rows, row{start: o.Start, alive: o.Alive, rec: rec})
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		if rows[i].alive != rows[j].alive {
+			return rows[i].alive // surviving ops first, by start time
+		}
+		return rows[i].start < rows[j].start
+	})
+	for _, rw := range rows {
+		if err := cw.Write(rw.rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

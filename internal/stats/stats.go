@@ -1,0 +1,83 @@
+// Package stats provides the small set of descriptive statistics the
+// experiment harness reports: mean, standard deviation, 95% confidence
+// half-width and extrema.
+package stats
+
+import "math"
+
+// Summary describes a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	Std    float64 // sample standard deviation (n-1)
+	CI95   float64 // half-width of the normal-approximation 95% CI
+	Min    float64
+	Max    float64
+	Median float64
+}
+
+// Mean returns the arithmetic mean (0 for an empty sample).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Std returns the sample standard deviation (0 for n < 2).
+func Std(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(n-1))
+}
+
+// Summarize computes all statistics of the sample.
+func Summarize(xs []float64) Summary {
+	out := Summary{N: len(xs)}
+	if len(xs) == 0 {
+		return out
+	}
+	out.Mean = Mean(xs)
+	out.Std = Std(xs)
+	if len(xs) > 1 {
+		out.CI95 = 1.96 * out.Std / math.Sqrt(float64(len(xs)))
+	}
+	out.Min, out.Max = xs[0], xs[0]
+	for _, x := range xs {
+		if x < out.Min {
+			out.Min = x
+		}
+		if x > out.Max {
+			out.Max = x
+		}
+	}
+	out.Median = median(xs)
+	return out
+}
+
+func median(xs []float64) float64 {
+	cp := append([]float64(nil), xs...)
+	// insertion sort: samples are small (tens of graphs per point)
+	for i := 1; i < len(cp); i++ {
+		for j := i; j > 0 && cp[j] < cp[j-1]; j-- {
+			cp[j], cp[j-1] = cp[j-1], cp[j]
+		}
+	}
+	n := len(cp)
+	if n%2 == 1 {
+		return cp[n/2]
+	}
+	return (cp[n/2-1] + cp[n/2]) / 2
+}

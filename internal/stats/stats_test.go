@@ -1,0 +1,88 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if Mean([]float64{2}) != 2 {
+		t.Error("Mean singleton")
+	}
+	if Mean([]float64{1, 2, 3, 4}) != 2.5 {
+		t.Error("Mean quad")
+	}
+}
+
+func TestStd(t *testing.T) {
+	if Std(nil) != 0 || Std([]float64{5}) != 0 {
+		t.Error("Std of degenerate samples must be 0")
+	}
+	// Sample std of {2,4,4,4,5,5,7,9} is sqrt(32/7).
+	got := Std([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	want := math.Sqrt(32.0 / 7.0)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("Std = %v, want %v", got, want)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{3, 1, 2})
+	if s.N != 3 || s.Mean != 2 || s.Min != 1 || s.Max != 3 || s.Median != 2 {
+		t.Errorf("Summary = %+v", s)
+	}
+	if s.CI95 <= 0 {
+		t.Error("CI95 must be positive for n > 1")
+	}
+	if Summarize(nil).N != 0 {
+		t.Error("empty summary")
+	}
+	even := Summarize([]float64{4, 1, 3, 2})
+	if even.Median != 2.5 {
+		t.Errorf("even median = %v, want 2.5", even.Median)
+	}
+}
+
+func TestMedianDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Summarize(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("Summarize mutated input: %v", xs)
+	}
+}
+
+func TestQuickSummaryInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(50)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 10
+		}
+		s := Summarize(xs)
+		if s.Min > s.Median || s.Median > s.Max {
+			return false
+		}
+		if s.Mean < s.Min || s.Mean > s.Max {
+			return false
+		}
+		if s.Std < 0 || s.CI95 < 0 {
+			return false
+		}
+		// Shifting the sample shifts mean/median/min/max, not std.
+		shifted := make([]float64, n)
+		for i := range xs {
+			shifted[i] = xs[i] + 100
+		}
+		s2 := Summarize(shifted)
+		return math.Abs(s2.Mean-s.Mean-100) < 1e-9 && math.Abs(s2.Std-s.Std) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,45 @@
+package timeline
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzTimelineOps drives a Timeline with a fuzzer-chosen sequence of
+// EarliestSlot/Add/Remove operations and checks that the interval set
+// never becomes inconsistent and that found slots are honored.
+func FuzzTimelineOps(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11})
+	f.Add([]byte{255, 0, 128, 7, 7, 7})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var tl Timeline
+		var placed []Interval
+		for len(data) >= 3 {
+			op := data[0] % 3
+			ready := float64(data[1])
+			sel := int(binary.LittleEndian.Uint16([]byte{data[2], 0}))
+			dur := float64(data[2] % 32)
+			data = data[3:]
+			pol := Policy(int(op) % 2)
+			switch op {
+			case 0, 1:
+				s := tl.EarliestSlot(ready, dur, pol)
+				if s < ready {
+					t.Fatalf("slot %v before ready %v", s, ready)
+				}
+				if err := tl.Add(s, dur, int32(len(placed))); err != nil {
+					t.Fatalf("slot from EarliestSlot rejected: %v", err)
+				}
+				placed = append(placed, Interval{Start: s, End: s + dur})
+			case 2:
+				if len(placed) > 0 {
+					idx := sel % len(placed)
+					tl.Remove(placed[idx].Start, int32(idx))
+				}
+			}
+			if err := tl.Validate(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+}

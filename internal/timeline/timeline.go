@@ -1,0 +1,212 @@
+// Package timeline implements exclusive-use resource timelines: sorted
+// lists of non-overlapping busy intervals representing the occupation of
+// a processor, a communication port or a network link.
+//
+// Two reservation policies are provided, matching the two classic
+// list-scheduling variants:
+//
+//   - Append: a new reservation may only start at or after the ready time
+//     of the resource (the maximum finish time of the reservations already
+//     placed). This matches the ready-time formulation of the paper's
+//     equations (4)-(6): R(l), SF(P), RF(P) are "the time the resource is
+//     free again".
+//   - Insertion: a new reservation may fill an idle gap between existing
+//     reservations if the gap is long enough (HEFT-style insertion-based
+//     policy).
+//
+// The zero value of Timeline is an empty, ready-to-use timeline.
+package timeline
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Policy selects how EarliestSlot searches for a feasible start time.
+type Policy int
+
+const (
+	// Append schedules strictly after the last existing reservation.
+	Append Policy = iota
+	// Insertion may fill idle gaps between existing reservations.
+	Insertion
+)
+
+func (p Policy) String() string {
+	switch p {
+	case Append:
+		return "append"
+	case Insertion:
+		return "insertion"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Interval is a half-open busy interval [Start, End) tagged with an
+// opaque owner ID (task replica index or communication index) used for
+// debugging and for validation reports.
+type Interval struct {
+	Start, End float64
+	Owner      int32
+}
+
+// Timeline is a sorted set of non-overlapping busy intervals.
+type Timeline struct {
+	ivs    []Interval
+	maxEnd float64
+}
+
+// Len returns the number of reservations.
+func (tl *Timeline) Len() int { return len(tl.ivs) }
+
+// Intervals returns the reservations in start order. The returned slice
+// aliases internal storage and must not be modified.
+func (tl *Timeline) Intervals() []Interval { return tl.ivs }
+
+// Ready returns the latest reservation end (0 when empty): the
+// resource's ready time under the Append policy, i.e. the paper's
+// R(l) / SF(P) / RF(P).
+func (tl *Timeline) Ready() float64 {
+	return tl.maxEnd
+}
+
+// EarliestSlot returns the earliest start >= ready at which a
+// reservation of length dur fits under the given policy. dur may be
+// zero, in which case ready is feasible anywhere.
+func (tl *Timeline) EarliestSlot(ready, dur float64, pol Policy) float64 {
+	if dur < 0 {
+		panic("timeline: negative duration")
+	}
+	if pol == Append || len(tl.ivs) == 0 {
+		if r := tl.Ready(); r > ready {
+			return r
+		}
+		return ready
+	}
+	// Insertion: scan the gaps between positive-length intervals in
+	// start order. Zero-length intervals are ordering markers and occupy
+	// no time, so they neither close gaps nor push the candidate start.
+	// (Ends are not monotone once markers interleave, so a binary search
+	// on End would be unsound; timelines are small, a scan is fine.)
+	start := ready
+	for i := 0; i < len(tl.ivs); i++ {
+		if tl.ivs[i].End == tl.ivs[i].Start || tl.ivs[i].End <= start {
+			continue
+		}
+		if start+dur <= tl.ivs[i].Start {
+			return start
+		}
+		start = tl.ivs[i].End
+	}
+	return start
+}
+
+// Add reserves [start, start+dur) for owner. It returns an error if the
+// new interval overlaps an existing reservation (callers must use
+// EarliestSlot to find feasible starts). Zero-duration reservations are
+// accepted and kept; they are useful as ordering markers.
+func (tl *Timeline) Add(start, dur float64, owner int32) error {
+	if dur < 0 {
+		return fmt.Errorf("timeline: negative duration %v", dur)
+	}
+	end := start + dur
+	i := sort.Search(len(tl.ivs), func(i int) bool { return tl.ivs[i].Start >= start })
+	// Check overlap against positive-length neighbors; zero-length
+	// intervals are markers and never conflict. Positive intervals are
+	// pairwise disjoint and start-sorted, so the nearest positive one on
+	// each side decides.
+	for j := i - 1; j >= 0; j-- {
+		if tl.ivs[j].End == tl.ivs[j].Start {
+			continue
+		}
+		if tl.ivs[j].End > start {
+			return fmt.Errorf("timeline: [%v,%v) overlaps [%v,%v)", start, end, tl.ivs[j].Start, tl.ivs[j].End)
+		}
+		break
+	}
+	for j := i; j < len(tl.ivs) && tl.ivs[j].Start < end; j++ {
+		if tl.ivs[j].End > tl.ivs[j].Start {
+			return fmt.Errorf("timeline: [%v,%v) overlaps [%v,%v)", start, end, tl.ivs[j].Start, tl.ivs[j].End)
+		}
+	}
+	tl.ivs = append(tl.ivs, Interval{})
+	copy(tl.ivs[i+1:], tl.ivs[i:])
+	tl.ivs[i] = Interval{Start: start, End: end, Owner: owner}
+	if end > tl.maxEnd {
+		tl.maxEnd = end
+	}
+	return nil
+}
+
+// MustAdd is Add that panics on overlap; used where feasibility was just
+// established with EarliestSlot.
+func (tl *Timeline) MustAdd(start, dur float64, owner int32) {
+	if err := tl.Add(start, dur, owner); err != nil {
+		panic(err)
+	}
+}
+
+// Remove deletes the reservation starting exactly at start with the
+// given owner; it reports whether a matching reservation was found.
+func (tl *Timeline) Remove(start float64, owner int32) bool {
+	i := sort.Search(len(tl.ivs), func(i int) bool { return tl.ivs[i].Start >= start })
+	for ; i < len(tl.ivs) && tl.ivs[i].Start == start; i++ {
+		if tl.ivs[i].Owner == owner {
+			tl.ivs = append(tl.ivs[:i], tl.ivs[i+1:]...)
+			tl.maxEnd = 0
+			for _, iv := range tl.ivs {
+				if iv.End > tl.maxEnd {
+					tl.maxEnd = iv.End
+				}
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// Clone returns a deep copy.
+func (tl *Timeline) Clone() *Timeline {
+	c := &Timeline{ivs: make([]Interval, len(tl.ivs)), maxEnd: tl.maxEnd}
+	copy(c.ivs, tl.ivs)
+	return c
+}
+
+// Validate checks ordering and non-overlap among positive-length
+// intervals (zero-length markers may sit anywhere).
+func (tl *Timeline) Validate() error {
+	prevEnd := 0.0
+	hasPrev := false
+	for i := range tl.ivs {
+		if tl.ivs[i].End == tl.ivs[i].Start {
+			continue
+		}
+		if hasPrev && tl.ivs[i].Start < prevEnd {
+			return fmt.Errorf("timeline: interval %d [%v,%v) overlaps a predecessor ending at %v",
+				i, tl.ivs[i].Start, tl.ivs[i].End, prevEnd)
+		}
+		prevEnd, hasPrev = tl.ivs[i].End, true
+	}
+	return nil
+}
+
+// Utilization returns the fraction of [0, horizon) covered by
+// reservations; 0 if horizon <= 0.
+func (tl *Timeline) Utilization(horizon float64) float64 {
+	if horizon <= 0 {
+		return 0
+	}
+	busy := 0.0
+	for _, iv := range tl.ivs {
+		s, e := iv.Start, iv.End
+		if s >= horizon {
+			break
+		}
+		if e > horizon {
+			e = horizon
+		}
+		busy += e - s
+	}
+	return busy / horizon
+}

@@ -1,0 +1,43 @@
+package viz
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRenderSVG(t *testing.T) {
+	s := testSchedule(t)
+	var buf bytes.Buffer
+	if err := RenderSVG(&buf, s, SVGOptions{Title: "diamond"}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"<svg", "</svg>", "diamond", "P0", "P3", "<rect"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// One bar per replica at least.
+	if got := strings.Count(out, "<rect"); got < s.ReplicaCount() {
+		t.Errorf("only %d rects for %d replicas", got, s.ReplicaCount())
+	}
+	if strings.Contains(out, "snd") {
+		t.Error("port lanes drawn without Ports option")
+	}
+}
+
+func TestRenderSVGPorts(t *testing.T) {
+	s := testSchedule(t)
+	var buf bytes.Buffer
+	if err := RenderSVG(&buf, s, SVGOptions{Ports: true, Width: 640, RowHeight: 18}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "snd") || !strings.Contains(out, "rcv") {
+		t.Error("port lanes missing")
+	}
+	if s.MessageCount() > 0 && !strings.Contains(out, "→") {
+		t.Error("no communication tooltips")
+	}
+}
