@@ -28,9 +28,14 @@ import (
 )
 
 // benchFigure runs a reduced version of a paper figure and reports the
-// mid-granularity point as benchmark metrics.
+// mid-granularity point as benchmark metrics. In -short mode (CI) the
+// sample count drops to one graph per point so a -benchtime=1x sweep
+// of every figure stays affordable.
 func benchFigure(b *testing.B, figure, graphs int) {
 	b.Helper()
+	if testing.Short() {
+		graphs = 1
+	}
 	cfg, err := expt.FigureConfig(figure, graphs, 1)
 	if err != nil {
 		b.Fatal(err)
@@ -72,7 +77,7 @@ func BenchmarkFigure6(b *testing.B) { benchFigure(b, 6, 2) } // m=20 ε=5, famil
 // BenchmarkMessageCounts regenerates the Prop. 5.1 message table.
 func BenchmarkMessageCounts(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if err := expt.RunMessages(io.Discard, 2, 1); err != nil {
+		if err := expt.RunMessages(io.Discard, 2, 1, 0); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -215,7 +220,10 @@ func BenchmarkSchedulers(b *testing.B) {
 	})
 }
 
-// BenchmarkCrashReplay measures the runtime replay engine.
+// BenchmarkCrashReplay measures the runtime replay engine: the one-shot
+// package API (which rebuilds the replay tables per call) against a
+// reused Replayer, the allocation-lean path the experiment engine uses
+// for its Monte-Carlo loops.
 func BenchmarkCrashReplay(b *testing.B) {
 	rng := rand.New(rand.NewSource(6))
 	p := benchProblem(rng, 10, 1.0, timeline.Append)
@@ -224,12 +232,25 @@ func BenchmarkCrashReplay(b *testing.B) {
 		b.Fatal(err)
 	}
 	crashed := map[int]bool{1: true, 4: true}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := sim.CrashLatency(s, crashed); err != nil {
+	b.Run("oneshot", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sim.CrashLatency(s, crashed); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("reused", func(b *testing.B) {
+		rep, err := sim.NewReplayer(s)
+		if err != nil {
 			b.Fatal(err)
 		}
-	}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := rep.CrashLatency(crashed); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkSparseTopology runs CAFT on routed sparse interconnects (X1).

@@ -17,6 +17,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -28,35 +29,36 @@ import (
 
 func main() {
 	var (
-		figure = flag.String("figure", "1", "figure to regenerate: 1..6, optionally with panel suffix a/b/c; or all, messages, ablation, accuracy, sparse")
-		graphs = flag.Int("graphs", 60, "random graphs per point (paper: 60)")
-		seed   = flag.Int64("seed", 1, "base PRNG seed")
-		plot   = flag.String("plot", "", "also write gnuplot data+script for figure runs into this directory")
+		figure  = flag.String("figure", "1", "figure to regenerate: 1..6, optionally with panel suffix a/b/c; or all, messages, ablation, accuracy, sparse")
+		graphs  = flag.Int("graphs", 60, "random graphs per point (paper: 60)")
+		seed    = flag.Int64("seed", 1, "base PRNG seed")
+		plot    = flag.String("plot", "", "also write gnuplot data+script for figure runs into this directory")
+		workers = flag.Int("workers", 0, "concurrent work units (0 = all cores); output is identical for any value")
 	)
 	flag.Parse()
-	if err := run(*figure, *graphs, *seed, *plot); err != nil {
+	if err := run(*figure, *graphs, *seed, *plot, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "caftsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(figure string, graphs int, seed int64, plotDir string) error {
+func run(figure string, graphs int, seed int64, plotDir string, workers int) error {
 	switch figure {
 	case "all":
 		for n := 1; n <= 6; n++ {
-			if err := runFigure(n, "", graphs, seed, plotDir); err != nil {
+			if err := runFigure(n, "", graphs, seed, plotDir, workers); err != nil {
 				return err
 			}
 		}
 		return nil
 	case "messages":
-		return expt.RunMessages(os.Stdout, graphs, seed)
+		return expt.RunMessages(os.Stdout, graphs, seed, workers)
 	case "ablation":
-		return expt.RunAblation(os.Stdout, graphs, seed)
+		return expt.RunAblation(os.Stdout, graphs, seed, workers)
 	case "accuracy":
-		return expt.RunAccuracy(os.Stdout, graphs, seed)
+		return expt.RunAccuracy(os.Stdout, graphs, seed, workers)
 	case "sparse":
-		return expt.RunSparse(os.Stdout, graphs, seed)
+		return expt.RunSparse(os.Stdout, graphs, seed, workers)
 	}
 	panel := ""
 	num := figure
@@ -67,14 +69,24 @@ func run(figure string, graphs int, seed int64, plotDir string) error {
 	if err != nil {
 		return fmt.Errorf("unknown figure %q", figure)
 	}
-	return runFigure(n, panel, graphs, seed, plotDir)
+	return runFigure(n, panel, graphs, seed, plotDir, workers)
 }
 
-func runFigure(n int, panel string, graphs int, seed int64, plotDir string) error {
+// col renders one TSV value; an empty series (NaN mean) prints as the
+// missing marker rather than a number.
+func col(v float64, prec int) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	return strconv.FormatFloat(v, 'f', prec, 64)
+}
+
+func runFigure(n int, panel string, graphs int, seed int64, plotDir string, workers int) error {
 	cfg, err := expt.FigureConfig(n, graphs, seed)
 	if err != nil {
 		return err
 	}
+	cfg.Workers = workers
 	fmt.Printf("# Figure %d%s: m=%d eps=%d crashes=%d graphs/point=%d seed=%d\n",
 		n, panel, cfg.M, cfg.Eps, cfg.Crashes, cfg.Graphs, seed)
 	start := time.Now()
@@ -94,16 +106,28 @@ func runFigure(n int, panel string, graphs int, seed int64, plotDir string) erro
 		fmt.Printf("## panel (b): normalized latency, 0 crash vs %d crash(es)\n", cfg.Crashes)
 		fmt.Println("g\tFTSA0\tFTSAc\tFTBAR0\tFTBARc\tCAFT0\tCAFTc")
 		for _, p := range points {
-			fmt.Printf("%.1f\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\n",
-				p.G, p.FTSA0, p.FTSAc, p.FTBAR0, p.FTBARc, p.CAFT0, p.CAFTc)
+			fmt.Printf("%.1f\t%.2f\t%s\t%.2f\t%s\t%.2f\t%s\n",
+				p.G, p.FTSA0, col(p.FTSAc, 2), p.FTBAR0, col(p.FTBARc, 2), p.CAFT0, col(p.CAFTc, 2))
 		}
 	}
 	if panel == "" || panel == "c" {
 		fmt.Println("## panel (c): average overhead (%) vs fault-free CAFT")
 		fmt.Println("g\tFTSA0\tFTSAc\tFTBAR0\tFTBARc\tCAFT0\tCAFTc")
 		for _, p := range points {
-			fmt.Printf("%.1f\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\n",
-				p.G, p.OvFTSA0, p.OvFTSAc, p.OvFTBAR0, p.OvFTBARc, p.OvCAFT0, p.OvCAFTc)
+			fmt.Printf("%.1f\t%.1f\t%s\t%.1f\t%s\t%.1f\t%s\n",
+				p.G, p.OvFTSA0, col(p.OvFTSAc, 1), p.OvFTBAR0, col(p.OvFTBARc, 1), p.OvCAFT0, col(p.OvCAFTc, 1))
+		}
+	}
+	// Crash diagnostics concern the crash panels only; panel-a output
+	// must match the panel-a section of a full run byte for byte.
+	if panel == "" || panel == "b" || panel == "c" {
+		for _, p := range points {
+			if p.TasksLost > 0 || p.ReplayErrors > 0 {
+				// Each graph's crash draw is replayed once per fault-tolerant
+				// scheduler, so the denominator is 3×graphs replays per point.
+				fmt.Printf("# g=%.1f: %d of %d crash replays lost a task, %d replay error(s); surviving samples FTSA=%d FTBAR=%d CAFT=%d of %d\n",
+					p.G, p.TasksLost, 3*cfg.Graphs, p.ReplayErrors, p.FTSAcN, p.FTBARcN, p.CAFTcN, cfg.Graphs)
+			}
 		}
 	}
 	if plotDir != "" {
@@ -111,12 +135,14 @@ func runFigure(n int, panel string, graphs int, seed int64, plotDir string) erro
 			return err
 		}
 	}
-	fmt.Printf("# messages/graph (mean): CAFT %.0f  FTSA %.0f  FTBAR %.0f  HEFT %.0f; elapsed %s\n",
+	// The wall-clock line goes to stderr: stdout must stay byte-identical
+	// for any -workers value.
+	fmt.Printf("# messages/graph (mean): CAFT %.0f  FTSA %.0f  FTBAR %.0f  HEFT %.0f\n",
 		meanLast(points, func(p expt.Point) float64 { return p.MsgCAFT }),
 		meanLast(points, func(p expt.Point) float64 { return p.MsgFTSA }),
 		meanLast(points, func(p expt.Point) float64 { return p.MsgFTBAR }),
-		meanLast(points, func(p expt.Point) float64 { return p.MsgHEFT }),
-		time.Since(start).Round(time.Millisecond))
+		meanLast(points, func(p expt.Point) float64 { return p.MsgHEFT }))
+	fmt.Fprintf(os.Stderr, "# figure %d: elapsed %s\n", n, time.Since(start).Round(time.Millisecond))
 	return nil
 }
 

@@ -4,7 +4,7 @@ import "testing"
 
 func TestRunRejectsUnknownFigure(t *testing.T) {
 	for _, bad := range []string{"7", "0", "x", "1d", "abc"} {
-		if err := run(bad, 1, 1, ""); err == nil {
+		if err := run(bad, 1, 1, "", 1); err == nil {
 			t.Errorf("figure %q accepted", bad)
 		}
 	}
@@ -14,7 +14,7 @@ func TestRunPanelSelection(t *testing.T) {
 	// Tiny runs: 1 graph per point would still sweep 10 granularities,
 	// so exercise only the cheapest figure with panel filters.
 	for _, fig := range []string{"1a", "1b", "1c"} {
-		if err := run(fig, 1, 1, ""); err != nil {
+		if err := run(fig, 1, 1, "", 0); err != nil {
 			t.Fatalf("figure %s: %v", fig, err)
 		}
 	}
@@ -22,7 +22,7 @@ func TestRunPanelSelection(t *testing.T) {
 
 func TestRunSpecialFigures(t *testing.T) {
 	for _, fig := range []string{"messages", "sparse"} {
-		if err := run(fig, 1, 1, ""); err != nil {
+		if err := run(fig, 1, 1, "", 0); err != nil {
 			t.Fatalf("figure %s: %v", fig, err)
 		}
 	}

@@ -1,0 +1,3 @@
+module caft
+
+go 1.24

@@ -7,6 +7,7 @@
 package expt
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -64,6 +65,12 @@ type Config struct {
 	// CAFTOpts selects the CAFT variant under test (default portfolio +
 	// support locking).
 	CAFTOpts core.Options
+	// Workers sets the number of (granularity, graph) work units evaluated
+	// concurrently; 0 means GOMAXPROCS. Every unit draws from its own seed
+	// derived up front from (Seed, granularity, graph), and units merge
+	// into Points in a fixed order, so the output is byte-identical for
+	// any worker count.
+	Workers int
 }
 
 // DefaultNorm is the mean of the paper's message-volume range [50,150].
@@ -112,8 +119,13 @@ type Point struct {
 	CAFT0, CAFTUB   float64
 	FFCAFT, FFFTBAR float64
 
-	// Panel (b): latency with crashes.
+	// Panel (b): latency with crashes. NaN when no crash replay of the
+	// scheduler survived (see the matching *cN counts): an empty crash
+	// series is reported as missing data, never as latency 0.
 	FTSAc, FTBARc, CAFTc float64
+
+	// Crash samples behind each panel-(b) mean (out of Graphs draws).
+	FTSAcN, FTBARcN, CAFTcN int
 
 	// Panel (c): average overhead (%).
 	OvFTSA0, OvFTSAc   float64
@@ -127,10 +139,15 @@ type Point struct {
 	// Dispersion of the headline series, for error bars.
 	CAFT0CI, FTSA0CI, FTBAR0CI float64
 
-	// TasksLost counts crash replays that lost a task entirely (always
+	// TasksLost counts crash replays that genuinely lost a task (always
 	// zero for the safe default variants; non-zero for the PaperLocking
 	// ablation). Such draws are excluded from the crash averages.
 	TasksLost int
+	// ReplayErrors counts crash replays the simulator failed to evaluate
+	// (e.g. a non-converging timing fixpoint). Kept separate from
+	// TasksLost: a lost task is a property of the schedule under test, an
+	// engine failure is not.
+	ReplayErrors int
 }
 
 // Instance bundles one generated problem.
@@ -157,22 +174,56 @@ func (cfg Config) DrawCrashes(rng *rand.Rand) map[int]bool {
 }
 
 // Run sweeps the granularities and returns one Point per value. The
-// optional progress callback is invoked after each completed point.
+// (granularity, graph) work units are evaluated concurrently on
+// cfg.Workers goroutines, each from its own seed derived up front; the
+// per-unit measurements merge into Points in a fixed order, so the
+// result is identical for any worker count. The optional progress
+// callback is invoked in granularity order as soon as each point's
+// units complete — the sweep keeps running while earlier points are
+// reported.
 func (cfg Config) Run(progress func(Point)) ([]Point, error) {
 	if cfg.Norm == 0 {
 		cfg.Norm = DefaultNorm
 	}
-	points := make([]Point, 0, len(cfg.Granularities))
-	for gi, g := range cfg.Granularities {
-		pt, err := cfg.runPoint(g, rand.New(rand.NewSource(cfg.Seed+int64(gi)*1_000_003)))
-		if err != nil {
-			return nil, err
-		}
-		points = append(points, pt)
-		if progress != nil {
-			progress(pt)
+	if cfg.Graphs < 0 {
+		return nil, fmt.Errorf("expt: negative graph count %d", cfg.Graphs)
+	}
+	nG := len(cfg.Granularities)
+	points := make([]Point, 0, nG)
+
+	// Streaming merge: count completed units per granularity and fold a
+	// Point as soon as its slice is full, always in granularity order.
+	remaining := make([]int, nG)
+	for gi := range remaining {
+		remaining[gi] = cfg.Graphs
+	}
+	nextG := 0
+	units := make([]unitResult, nG*cfg.Graphs)
+	mergeReady := func() {
+		for nextG < nG && remaining[nextG] == 0 {
+			g := cfg.Granularities[nextG]
+			pt := cfg.mergePoint(g, units[nextG*cfg.Graphs:(nextG+1)*cfg.Graphs])
+			points = append(points, pt)
+			if progress != nil {
+				progress(pt)
+			}
+			nextG++
 		}
 	}
+	err := forEachUnit(cfg.Workers, len(units), func(u int) error {
+		gi, gr := u/cfg.Graphs, u%cfg.Graphs
+		rng := rand.New(rand.NewSource(unitSeed(cfg.Seed, gi, gr)))
+		var err error
+		units[u], err = cfg.runUnit(cfg.Granularities[gi], rng)
+		return err
+	}, func(u int) {
+		remaining[u/cfg.Graphs]--
+		mergeReady()
+	})
+	if err != nil {
+		return nil, err
+	}
+	mergeReady()
 	return points, nil
 }
 
@@ -180,9 +231,106 @@ type series struct{ xs []float64 }
 
 func (s *series) add(x float64) { s.xs = append(s.xs, x) }
 func (s *series) mean() float64 { return stats.Mean(s.xs) }
-func (s *series) ci95() float64 { return stats.Summarize(s.xs).CI95 }
 
-func (cfg Config) runPoint(g float64, rng *rand.Rand) (Point, error) {
+// meanNaN marks an empty series as missing rather than zero — used for
+// the crash series, whose draws can be excluded by task loss.
+func (s *series) meanNaN() float64 { return stats.MeanOrNaN(s.xs) }
+func (s *series) n() int           { return len(s.xs) }
+func (s *series) ci95() float64    { return stats.Summarize(s.xs).CI95 }
+
+// unitMeas is what one work unit measures for one fault-tolerant
+// scheduler. Values are raw (unnormalized); overheads are in percent.
+type unitMeas struct {
+	lat0, ub, ov0 float64
+	msgs          float64
+	latC, ovC     float64
+	crashOK       bool // crash replay survived and is part of the averages
+}
+
+// unitResult is the complete measurement of one (granularity, graph)
+// work unit.
+type unitResult struct {
+	ftsa, ftbar, caft        unitMeas
+	ffCAFT, ffFTBAR, msgHEFT float64
+	lost, replayErrs         int
+}
+
+// runUnit generates one instance at granularity g, schedules it with
+// every algorithm and replays bounds and crashes, reusing one sim
+// scratch buffer per schedule.
+func (cfg Config) runUnit(g float64, rng *rand.Rand) (unitResult, error) {
+	var out unitResult
+	inst := cfg.GenInstance(rng, g)
+	p := inst.P
+	crashed := cfg.DrawCrashes(rng)
+
+	// Fault-free references.
+	sHEFT, err := heft.Schedule(p, rng)
+	if err != nil {
+		return out, err
+	}
+	star := sHEFT.ScheduledLatency() // CAFT*
+	sFB0, err := ftbar.Schedule(p, 0, rng)
+	if err != nil {
+		return out, err
+	}
+
+	// Fault-tolerant schedules.
+	sFT, err := ftsa.Schedule(p, cfg.Eps, rng)
+	if err != nil {
+		return out, err
+	}
+	sFB, err := ftbar.Schedule(p, cfg.Eps, rng)
+	if err != nil {
+		return out, err
+	}
+	sCA, _, err := core.ScheduleOpts(p, cfg.Eps, rng, cfg.CAFTOpts)
+	if err != nil {
+		return out, err
+	}
+
+	for _, m := range []struct {
+		s    *sched.Schedule
+		meas *unitMeas
+	}{
+		{sFT, &out.ftsa},
+		{sFB, &out.ftbar},
+		{sCA, &out.caft},
+	} {
+		rep, err := sim.NewReplayer(m.s)
+		if err != nil {
+			return out, err
+		}
+		l0 := m.s.ScheduledLatency()
+		ub, err := rep.UpperBound()
+		if err != nil {
+			return out, err
+		}
+		m.meas.lat0 = l0
+		m.meas.ub = ub
+		m.meas.ov0 = 100 * (l0 - star) / star
+		m.meas.msgs = float64(m.s.MessageCount())
+		lc, err := rep.CrashLatency(crashed)
+		switch {
+		case errors.Is(err, sim.ErrTaskLost) || math.IsInf(lc, 1):
+			out.lost++
+		case err != nil:
+			out.replayErrs++
+		default:
+			m.meas.latC = lc
+			m.meas.ovC = 100 * (lc - star) / star
+			m.meas.crashOK = true
+		}
+	}
+	out.ffCAFT = star
+	out.ffFTBAR = sFB0.ScheduledLatency()
+	out.msgHEFT = float64(sHEFT.MessageCount())
+	return out, nil
+}
+
+// mergePoint folds the work units of one granularity into a Point, in
+// unit order.
+func (cfg Config) mergePoint(g float64, units []unitResult) Point {
 	var (
 		ftsa0, ftsaUB, ftsaC    series
 		ftbar0, ftbarUB, ftbarC series
@@ -193,82 +341,45 @@ func (cfg Config) runPoint(g float64, rng *rand.Rand) (Point, error) {
 		ovCAFT0, ovCAFTc        series
 		msgC, msgF, msgB, msgH  series
 	)
-	lost := 0
-	for i := 0; i < cfg.Graphs; i++ {
-		inst := cfg.GenInstance(rng, g)
-		p := inst.P
-		crashed := cfg.DrawCrashes(rng)
-
-		// Fault-free references.
-		sHEFT, err := heft.Schedule(p, rng)
-		if err != nil {
-			return Point{}, err
-		}
-		star := sHEFT.ScheduledLatency() // CAFT*
-		sFB0, err := ftbar.Schedule(p, 0, rng)
-		if err != nil {
-			return Point{}, err
-		}
-
-		// Fault-tolerant schedules.
-		sFT, err := ftsa.Schedule(p, cfg.Eps, rng)
-		if err != nil {
-			return Point{}, err
-		}
-		sFB, err := ftbar.Schedule(p, cfg.Eps, rng)
-		if err != nil {
-			return Point{}, err
-		}
-		sCA, _, err := core.ScheduleOpts(p, cfg.Eps, rng, cfg.CAFTOpts)
-		if err != nil {
-			return Point{}, err
-		}
-
-		type meas struct {
-			s        *sched.Schedule
-			lat0, ub *series
-			latC     *series
-			ov0, ovC *series
-			msgs     *series
-		}
-		all := []meas{
-			{sFT, &ftsa0, &ftsaUB, &ftsaC, &ovFTSA0, &ovFTSAc, &msgF},
-			{sFB, &ftbar0, &ftbarUB, &ftbarC, &ovFTBAR0, &ovFTBARc, &msgB},
-			{sCA, &caft0, &caftUB, &caftC, &ovCAFT0, &ovCAFTc, &msgC},
-		}
-		for _, m := range all {
-			l0 := m.s.ScheduledLatency()
-			ub, err := sim.UpperBound(m.s)
-			if err != nil {
-				return Point{}, err
+	lost, replayErrs := 0, 0
+	for _, u := range units {
+		for _, m := range []struct {
+			meas           unitMeas
+			lat0, ub, latC *series
+			ov0, ovC       *series
+			msgs           *series
+		}{
+			{u.ftsa, &ftsa0, &ftsaUB, &ftsaC, &ovFTSA0, &ovFTSAc, &msgF},
+			{u.ftbar, &ftbar0, &ftbarUB, &ftbarC, &ovFTBAR0, &ovFTBARc, &msgB},
+			{u.caft, &caft0, &caftUB, &caftC, &ovCAFT0, &ovCAFTc, &msgC},
+		} {
+			m.lat0.add(m.meas.lat0 / cfg.Norm)
+			m.ub.add(m.meas.ub / cfg.Norm)
+			m.ov0.add(m.meas.ov0)
+			m.msgs.add(m.meas.msgs)
+			if m.meas.crashOK {
+				m.latC.add(m.meas.latC / cfg.Norm)
+				m.ovC.add(m.meas.ovC)
 			}
-			m.lat0.add(l0 / cfg.Norm)
-			m.ub.add(ub / cfg.Norm)
-			m.ov0.add(100 * (l0 - star) / star)
-			m.msgs.add(float64(m.s.MessageCount()))
-			lc, err := sim.CrashLatency(m.s, crashed)
-			if err != nil || math.IsInf(lc, 1) {
-				lost++
-				continue
-			}
-			m.latC.add(lc / cfg.Norm)
-			m.ovC.add(100 * (lc - star) / star)
 		}
-		ffCAFT.add(star / cfg.Norm)
-		ffFTBAR.add(sFB0.ScheduledLatency() / cfg.Norm)
-		msgH.add(float64(sHEFT.MessageCount()))
+		ffCAFT.add(u.ffCAFT / cfg.Norm)
+		ffFTBAR.add(u.ffFTBAR / cfg.Norm)
+		msgH.add(u.msgHEFT)
+		lost += u.lost
+		replayErrs += u.replayErrs
 	}
 	return Point{
 		G:     g,
-		FTSA0: ftsa0.mean(), FTSAUB: ftsaUB.mean(), FTSAc: ftsaC.mean(),
-		FTBAR0: ftbar0.mean(), FTBARUB: ftbarUB.mean(), FTBARc: ftbarC.mean(),
-		CAFT0: caft0.mean(), CAFTUB: caftUB.mean(), CAFTc: caftC.mean(),
+		FTSA0: ftsa0.mean(), FTSAUB: ftsaUB.mean(), FTSAc: ftsaC.meanNaN(),
+		FTBAR0: ftbar0.mean(), FTBARUB: ftbarUB.mean(), FTBARc: ftbarC.meanNaN(),
+		CAFT0: caft0.mean(), CAFTUB: caftUB.mean(), CAFTc: caftC.meanNaN(),
+		FTSAcN: ftsaC.n(), FTBARcN: ftbarC.n(), CAFTcN: caftC.n(),
 		FFCAFT: ffCAFT.mean(), FFFTBAR: ffFTBAR.mean(),
-		OvFTSA0: ovFTSA0.mean(), OvFTSAc: ovFTSAc.mean(),
-		OvFTBAR0: ovFTBAR0.mean(), OvFTBARc: ovFTBARc.mean(),
-		OvCAFT0: ovCAFT0.mean(), OvCAFTc: ovCAFTc.mean(),
+		OvFTSA0: ovFTSA0.mean(), OvFTSAc: ovFTSAc.meanNaN(),
+		OvFTBAR0: ovFTBAR0.mean(), OvFTBARc: ovFTBARc.meanNaN(),
+		OvCAFT0: ovCAFT0.mean(), OvCAFTc: ovCAFTc.meanNaN(),
 		MsgCAFT: msgC.mean(), MsgFTSA: msgF.mean(), MsgFTBAR: msgB.mean(), MsgHEFT: msgH.mean(),
 		CAFT0CI: caft0.ci95(), FTSA0CI: ftsa0.ci95(), FTBAR0CI: ftbar0.ci95(),
-		TasksLost: lost,
-	}, nil
+		TasksLost: lost, ReplayErrors: replayErrs,
+	}
 }

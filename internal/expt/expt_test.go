@@ -167,7 +167,7 @@ func TestRunProgressCallback(t *testing.T) {
 
 func TestRunMessagesOutput(t *testing.T) {
 	var buf bytes.Buffer
-	if err := RunMessages(&buf, 2, 1); err != nil {
+	if err := RunMessages(&buf, 2, 1, 1); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -183,7 +183,7 @@ func TestRunMessagesOutput(t *testing.T) {
 
 func TestRunAblationOutput(t *testing.T) {
 	var buf bytes.Buffer
-	if err := RunAblation(&buf, 1, 1); err != nil {
+	if err := RunAblation(&buf, 1, 1, 1); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -196,7 +196,7 @@ func TestRunAblationOutput(t *testing.T) {
 
 func TestRunAccuracyShowsMisprediction(t *testing.T) {
 	var buf bytes.Buffer
-	if err := RunAccuracy(&buf, 1, 1); err != nil {
+	if err := RunAccuracy(&buf, 1, 1, 1); err != nil {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
@@ -216,7 +216,7 @@ func TestRunAccuracyShowsMisprediction(t *testing.T) {
 
 func TestRunSparseOutput(t *testing.T) {
 	var buf bytes.Buffer
-	if err := RunSparse(&buf, 1, 1); err != nil {
+	if err := RunSparse(&buf, 1, 1, 1); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()

@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
@@ -17,11 +18,21 @@ import (
 	"caft/internal/topology"
 )
 
+// The ablation tables run on the same deterministic work-unit engine as
+// the figures: every (table cell, graph) pair is an independent unit
+// with a seed derived up front, the units fan out over `workers`
+// goroutines (0 = GOMAXPROCS), and rows are assembled from the unit
+// results in a fixed order — the emitted TSV is identical for any
+// worker count.
+
 // RunMessages reproduces the message-count argument of Proposition 5.1:
 // on outforests CAFT generates at most e(ε+1) messages while FTSA may
 // generate up to e(ε+1)²; on general random graphs CAFT still sends far
 // fewer messages. One TSV row per (family, ε).
-func RunMessages(w io.Writer, graphs int, seed int64) error {
+func RunMessages(w io.Writer, graphs int, seed int64, workers int) error {
+	if graphs < 0 {
+		return fmt.Errorf("expt: negative graph count %d", graphs)
+	}
 	fmt.Fprintf(w, "# Prop 5.1 message counts: m=10, %d graphs per row, seed=%d\n", graphs, seed)
 	fmt.Fprintln(w, "family\teps\tedges\tCAFT\tboundE(e+1)\tFTSA\tboundE(e+1)^2")
 	families := []struct {
@@ -32,31 +43,45 @@ func RunMessages(w io.Writer, graphs int, seed int64) error {
 		{"fork", func(rng *rand.Rand) *dag.DAG { return gen.Fork(30, 100) }},
 		{"random", func(rng *rand.Rand) *dag.DAG { return gen.RandomLayered(rng, gen.DefaultParams) }},
 	}
-	for _, fam := range families {
-		for eps := 0; eps <= 3; eps++ {
-			rng := rand.New(rand.NewSource(seed))
-			var edges, msgC, msgF stats64
-			for i := 0; i < graphs; i++ {
-				g := fam.gen(rng)
-				plat := platform.NewRandom(rng, 10, 0.5, 1.0)
-				exec := platform.GenExecForGranularity(rng, g, plat, 1.0, platform.DefaultHeterogeneity)
-				p := &sched.Problem{G: g, Plat: plat, Exec: exec, Model: sched.OnePort, Policy: timeline.Append}
-				sc, _, err := core.ScheduleOpts(p, eps, rng, core.Options{Greedy: true})
-				if err != nil {
-					return err
-				}
-				sf, err := ftsa.Schedule(p, eps, rng)
-				if err != nil {
-					return err
-				}
-				edges.add(float64(g.NumEdges()))
-				msgC.add(float64(sc.MessageCount()))
-				msgF.add(float64(sf.MessageCount()))
-			}
-			e := edges.mean()
-			fmt.Fprintf(w, "%s\t%d\t%.0f\t%.0f\t%.0f\t%.0f\t%.0f\n",
-				fam.name, eps, e, msgC.mean(), e*float64(eps+1), msgF.mean(), e*float64((eps+1)*(eps+1)))
+	const nEps = 4 // ε = 0..3
+	type meas struct{ edges, msgC, msgF float64 }
+	cells := len(families) * nEps
+	units, err := runUnits(workers, cells*graphs, func(u int) (meas, error) {
+		cell, gi := u/graphs, u%graphs
+		fam, eps := families[cell/nEps], cell%nEps
+		rng := rand.New(rand.NewSource(unitSeed(seed, cell, gi)))
+		g := fam.gen(rng)
+		plat := platform.NewRandom(rng, 10, 0.5, 1.0)
+		exec := platform.GenExecForGranularity(rng, g, plat, 1.0, platform.DefaultHeterogeneity)
+		p := &sched.Problem{G: g, Plat: plat, Exec: exec, Model: sched.OnePort, Policy: timeline.Append}
+		sc, _, err := core.ScheduleOpts(p, eps, rng, core.Options{Greedy: true})
+		if err != nil {
+			return meas{}, err
 		}
+		sf, err := ftsa.Schedule(p, eps, rng)
+		if err != nil {
+			return meas{}, err
+		}
+		return meas{
+			edges: float64(g.NumEdges()),
+			msgC:  float64(sc.MessageCount()),
+			msgF:  float64(sf.MessageCount()),
+		}, nil
+	})
+	if err != nil {
+		return err
+	}
+	for cell := 0; cell < cells; cell++ {
+		fam, eps := families[cell/nEps], cell%nEps
+		var edges, msgC, msgF stats64
+		for _, m := range units[cell*graphs : (cell+1)*graphs] {
+			edges.add(m.edges)
+			msgC.add(m.msgC)
+			msgF.add(m.msgF)
+		}
+		e := edges.mean()
+		fmt.Fprintf(w, "%s\t%d\t%.0f\t%.0f\t%.0f\t%.0f\t%.0f\n",
+			fam.name, eps, e, msgC.mean(), e*float64(eps+1), msgF.mean(), e*float64((eps+1)*(eps+1)))
 	}
 	return nil
 }
@@ -66,12 +91,24 @@ type stats64 struct{ xs []float64 }
 func (s *stats64) add(x float64) { s.xs = append(s.xs, x) }
 func (s *stats64) mean() float64 { return stats.Mean(s.xs) }
 
+// lostPct renders the task-loss percentage, or the missing marker when
+// no crash replay could be evaluated (0 draws must not read as NaN).
+func lostPct(lost, draws int) string {
+	if draws == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f", 100*float64(lost)/float64(draws))
+}
+
 // RunAblation compares the CAFT variants (A1/A4 of DESIGN.md): the
 // resilient portfolio default, the greedy one-to-one mode, the
 // replicated-only mode and the literal paper-locking mode, reporting
 // normalized latency, message count and the fraction of random ε-crash
 // draws that lose a task entirely.
-func RunAblation(w io.Writer, graphs int, seed int64) error {
+func RunAblation(w io.Writer, graphs int, seed int64, workers int) error {
+	if graphs < 0 {
+		return fmt.Errorf("expt: negative graph count %d", graphs)
+	}
 	fmt.Fprintf(w, "# CAFT variant ablation: m=10, %d graphs per cell, 20 crash draws per graph, seed=%d\n", graphs, seed)
 	fmt.Fprintln(w, "eps\tg\tvariant\tlatency\tmessages\tlostPct")
 	variants := []struct {
@@ -83,38 +120,80 @@ func RunAblation(w io.Writer, graphs int, seed int64) error {
 		{"full-only", core.Options{FullOnly: true}},
 		{"paper-locking", core.Options{Greedy: true, Locking: core.PaperLocking}},
 	}
-	for _, eps := range []int{1, 3} {
-		for _, g := range []float64{0.2, 1.0, 5.0} {
-			for _, v := range variants {
-				rng := rand.New(rand.NewSource(seed))
-				var lat, msg stats64
-				lost, draws := 0, 0
-				for i := 0; i < graphs; i++ {
-					graph := gen.RandomLayered(rng, gen.DefaultParams)
-					plat := platform.NewRandom(rng, 10, 0.5, 1.0)
-					exec := platform.GenExecForGranularity(rng, graph, plat, g, platform.DefaultHeterogeneity)
-					p := &sched.Problem{G: graph, Plat: plat, Exec: exec, Model: sched.OnePort, Policy: timeline.Append}
-					s, _, err := core.ScheduleOpts(p, eps, rng, v.opts)
-					if err != nil {
-						return err
-					}
-					lat.add(s.ScheduledLatency() / DefaultNorm)
-					msg.add(float64(s.MessageCount()))
-					for d := 0; d < 20; d++ {
-						crashed := map[int]bool{}
-						for len(crashed) < eps {
-							crashed[rng.Intn(10)] = true
-						}
-						draws++
-						if _, err := sim.CrashLatency(s, crashed); err != nil {
-							lost++
-						}
-					}
-				}
-				fmt.Fprintf(w, "%d\t%.1f\t%s\t%.2f\t%.0f\t%.1f\n",
-					eps, g, v.name, lat.mean(), msg.mean(), 100*float64(lost)/float64(draws))
+	epsVals := []int{1, 3}
+	gVals := []float64{0.2, 1.0, 5.0}
+	type cellDef struct {
+		eps     int
+		g       float64
+		variant int
+	}
+	var defs []cellDef
+	for _, eps := range epsVals {
+		for _, g := range gVals {
+			for vi := range variants {
+				defs = append(defs, cellDef{eps, g, vi})
 			}
 		}
+	}
+	type meas struct {
+		lat, msg          float64
+		lost, errs, draws int
+	}
+	units, err := runUnits(workers, len(defs)*graphs, func(u int) (meas, error) {
+		cell, gi := u/graphs, u%graphs
+		def := defs[cell]
+		rng := rand.New(rand.NewSource(unitSeed(seed, cell, gi)))
+		graph := gen.RandomLayered(rng, gen.DefaultParams)
+		plat := platform.NewRandom(rng, 10, 0.5, 1.0)
+		exec := platform.GenExecForGranularity(rng, graph, plat, def.g, platform.DefaultHeterogeneity)
+		p := &sched.Problem{G: graph, Plat: plat, Exec: exec, Model: sched.OnePort, Policy: timeline.Append}
+		s, _, err := core.ScheduleOpts(p, def.eps, rng, variants[def.variant].opts)
+		if err != nil {
+			return meas{}, err
+		}
+		m := meas{lat: s.ScheduledLatency() / DefaultNorm, msg: float64(s.MessageCount())}
+		rep, err := sim.NewReplayer(s)
+		if err != nil {
+			return meas{}, err
+		}
+		for d := 0; d < 20; d++ {
+			crashed := map[int]bool{}
+			for len(crashed) < def.eps {
+				crashed[rng.Intn(10)] = true
+			}
+			switch _, err := rep.CrashLatency(crashed); {
+			case errors.Is(err, sim.ErrTaskLost):
+				m.draws++
+				m.lost++
+			case err != nil:
+				// Same policy as the figure engine: an engine failure is
+				// excluded from the draws, not blamed on the schedule.
+				m.errs++
+			default:
+				m.draws++
+			}
+		}
+		return m, nil
+	})
+	if err != nil {
+		return err
+	}
+	replayErrs := 0
+	for cell, def := range defs {
+		var lat, msg stats64
+		lost, draws := 0, 0
+		for _, m := range units[cell*graphs : (cell+1)*graphs] {
+			lat.add(m.lat)
+			msg.add(m.msg)
+			lost += m.lost
+			draws += m.draws
+			replayErrs += m.errs
+		}
+		fmt.Fprintf(w, "%d\t%.1f\t%s\t%.2f\t%.0f\t%s\n",
+			def.eps, def.g, variants[def.variant].name, lat.mean(), msg.mean(), lostPct(lost, draws))
+	}
+	if replayErrs > 0 {
+		fmt.Fprintf(w, "# %d crash replay(s) failed to evaluate and were excluded\n", replayErrs)
 	}
 	return nil
 }
@@ -125,43 +204,60 @@ func RunAblation(w io.Writer, graphs int, seed int64) error {
 // communications are replayed under one-port constraints, while
 // contention-aware schedules keep their promises. One row per
 // granularity; latencies normalized.
-func RunAccuracy(w io.Writer, graphs int, seed int64) error {
+func RunAccuracy(w io.Writer, graphs int, seed int64, workers int) error {
+	if graphs < 0 {
+		return fmt.Errorf("expt: negative graph count %d", graphs)
+	}
 	fmt.Fprintf(w, "# schedule accuracy: m=10, eps=1, %d graphs per point, seed=%d\n", graphs, seed)
 	fmt.Fprintln(w, "g\tmacroEstimate\tmacroReplayed\tonePortAware\tmisprediction")
-	for _, g := range GranularityA() {
-		rng := rand.New(rand.NewSource(seed))
+	gs := GranularityA()
+	type meas struct{ est, real, aware float64 }
+	units, err := runUnits(workers, len(gs)*graphs, func(u int) (meas, error) {
+		cell, gi := u/graphs, u%graphs
+		g := gs[cell]
+		rng := rand.New(rand.NewSource(unitSeed(seed, cell, gi)))
+		graph := gen.RandomLayered(rng, gen.DefaultParams)
+		plat := platform.NewRandom(rng, 10, 0.5, 1.0)
+		exec := platform.GenExecForGranularity(rng, graph, plat, g, platform.DefaultHeterogeneity)
+		macro := &sched.Problem{G: graph, Plat: plat, Exec: exec, Model: sched.MacroDataflow, Policy: timeline.Append}
+		sm, err := ftsa.Schedule(macro, 1, rng)
+		if err != nil {
+			return meas{}, err
+		}
+		var m meas
+		m.est = sm.ScheduledLatency() / DefaultNorm
+		// Replay the same placements with one-port contention: the
+		// promised overlap of messages is serialized.
+		onePortView := *sm
+		pp := *macro
+		pp.Model = sched.OnePort
+		onePortView.P = &pp
+		r, err := sim.Replay(&onePortView, sim.Options{})
+		if err != nil {
+			return meas{}, err
+		}
+		lat, err := r.Latency()
+		if err != nil {
+			return meas{}, err
+		}
+		m.real = lat / DefaultNorm
+		onePort := &sched.Problem{G: graph, Plat: plat, Exec: exec, Model: sched.OnePort, Policy: timeline.Append}
+		sa, err := ftsa.Schedule(onePort, 1, rng)
+		if err != nil {
+			return meas{}, err
+		}
+		m.aware = sa.ScheduledLatency() / DefaultNorm
+		return m, nil
+	})
+	if err != nil {
+		return err
+	}
+	for cell, g := range gs {
 		var est, real, aware stats64
-		for i := 0; i < graphs; i++ {
-			graph := gen.RandomLayered(rng, gen.DefaultParams)
-			plat := platform.NewRandom(rng, 10, 0.5, 1.0)
-			exec := platform.GenExecForGranularity(rng, graph, plat, g, platform.DefaultHeterogeneity)
-			macro := &sched.Problem{G: graph, Plat: plat, Exec: exec, Model: sched.MacroDataflow, Policy: timeline.Append}
-			sm, err := ftsa.Schedule(macro, 1, rng)
-			if err != nil {
-				return err
-			}
-			est.add(sm.ScheduledLatency() / DefaultNorm)
-			// Replay the same placements with one-port contention: the
-			// promised overlap of messages is serialized.
-			onePortView := *sm
-			pp := *macro
-			pp.Model = sched.OnePort
-			onePortView.P = &pp
-			r, err := sim.Replay(&onePortView, sim.Options{})
-			if err != nil {
-				return err
-			}
-			lat, err := r.Latency()
-			if err != nil {
-				return err
-			}
-			real.add(lat / DefaultNorm)
-			onePort := &sched.Problem{G: graph, Plat: plat, Exec: exec, Model: sched.OnePort, Policy: timeline.Append}
-			sa, err := ftsa.Schedule(onePort, 1, rng)
-			if err != nil {
-				return err
-			}
-			aware.add(sa.ScheduledLatency() / DefaultNorm)
+		for _, m := range units[cell*graphs : (cell+1)*graphs] {
+			est.add(m.est)
+			real.add(m.real)
+			aware.add(m.aware)
 		}
 		mis := 0.0
 		if est.mean() > 0 {
@@ -175,8 +271,11 @@ func RunAccuracy(w io.Writer, graphs int, seed int64) error {
 // RunSparse exercises the conclusion's sparse-interconnect extension
 // (X1): CAFT on a clique versus routed ring, star, mesh, torus and
 // hypercube topologies of 8 processors, ε = 1.
-func RunSparse(w io.Writer, graphs int, seed int64) error {
+func RunSparse(w io.Writer, graphs int, seed int64, workers int) error {
 	const m = 8
+	if graphs < 0 {
+		return fmt.Errorf("expt: negative graph count %d", graphs)
+	}
 	fmt.Fprintf(w, "# sparse topologies: m=%d, eps=1, g=1.0, %d graphs per row, seed=%d\n", m, graphs, seed)
 	fmt.Fprintln(w, "topology\tdiameter\tlatency\tmessages\tlost1crashPct")
 	topos := []struct {
@@ -191,29 +290,58 @@ func RunSparse(w io.Writer, graphs int, seed int64) error {
 		{"star", topology.Star(m, 0.75), topology.Star(m, 0.75).Diameter()},
 		{"ring", topology.Ring(m, 0.75), topology.Ring(m, 0.75).Diameter()},
 	}
-	for _, tp := range topos {
-		rng := rand.New(rand.NewSource(seed))
-		var lat, msg stats64
-		lost, draws := 0, 0
-		for i := 0; i < graphs; i++ {
-			graph := gen.RandomLayered(rng, gen.DefaultParams)
-			plat := platform.New(m, 0.75)
-			exec := platform.GenExecForGranularity(rng, graph, plat, 1.0, platform.DefaultHeterogeneity)
-			p := &sched.Problem{G: graph, Plat: plat, Exec: exec, Model: sched.OnePort, Policy: timeline.Append, Net: tp.net}
-			s, err := core.Schedule(p, 1, rng)
-			if err != nil {
-				return err
-			}
-			lat.add(s.ScheduledLatency() / DefaultNorm)
-			msg.add(float64(s.MessageCount()))
-			for proc := 0; proc < m; proc++ {
-				draws++
-				if _, err := sim.CrashLatency(s, map[int]bool{proc: true}); err != nil {
-					lost++
-				}
+	type meas struct {
+		lat, msg          float64
+		lost, errs, draws int
+	}
+	units, err := runUnits(workers, len(topos)*graphs, func(u int) (meas, error) {
+		cell, gi := u/graphs, u%graphs
+		tp := topos[cell]
+		rng := rand.New(rand.NewSource(unitSeed(seed, cell, gi)))
+		graph := gen.RandomLayered(rng, gen.DefaultParams)
+		plat := platform.New(m, 0.75)
+		exec := platform.GenExecForGranularity(rng, graph, plat, 1.0, platform.DefaultHeterogeneity)
+		p := &sched.Problem{G: graph, Plat: plat, Exec: exec, Model: sched.OnePort, Policy: timeline.Append, Net: tp.net}
+		s, err := core.Schedule(p, 1, rng)
+		if err != nil {
+			return meas{}, err
+		}
+		mr := meas{lat: s.ScheduledLatency() / DefaultNorm, msg: float64(s.MessageCount())}
+		rep, err := sim.NewReplayer(s)
+		if err != nil {
+			return meas{}, err
+		}
+		for proc := 0; proc < m; proc++ {
+			switch _, err := rep.CrashLatency(map[int]bool{proc: true}); {
+			case errors.Is(err, sim.ErrTaskLost):
+				mr.draws++
+				mr.lost++
+			case err != nil:
+				mr.errs++
+			default:
+				mr.draws++
 			}
 		}
-		fmt.Fprintf(w, "%s\t%d\t%.2f\t%.0f\t%.1f\n", tp.name, tp.diam, lat.mean(), msg.mean(), 100*float64(lost)/float64(draws))
+		return mr, nil
+	})
+	if err != nil {
+		return err
+	}
+	replayErrs := 0
+	for cell, tp := range topos {
+		var lat, msg stats64
+		lost, draws := 0, 0
+		for _, mr := range units[cell*graphs : (cell+1)*graphs] {
+			lat.add(mr.lat)
+			msg.add(mr.msg)
+			lost += mr.lost
+			draws += mr.draws
+			replayErrs += mr.errs
+		}
+		fmt.Fprintf(w, "%s\t%d\t%.2f\t%.0f\t%s\n", tp.name, tp.diam, lat.mean(), msg.mean(), lostPct(lost, draws))
+	}
+	if replayErrs > 0 {
+		fmt.Fprintf(w, "# %d crash replay(s) failed to evaluate and were excluded\n", replayErrs)
 	}
 	return nil
 }

@@ -3,20 +3,42 @@ package expt
 import (
 	"fmt"
 	"io"
+	"math"
+	"strconv"
+	"strings"
 )
+
+// gnuplotMissing marks an empty series value (NaN mean) in the data
+// file; the emitted script declares it via `set datafile missing`.
+const gnuplotMissing = "?"
+
+func gnuplotVal(v float64) string {
+	if math.IsNaN(v) {
+		return gnuplotMissing
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
 
 // WriteGnuplotData writes the full point series as a whitespace table
 // consumable by gnuplot (one row per granularity, one column per
-// series, with a header comment naming the columns).
+// series, with a header comment naming the columns). Empty crash
+// series render as the missing marker, so gnuplot skips the point
+// instead of plotting a bogus zero.
 func WriteGnuplotData(w io.Writer, points []Point) error {
 	if _, err := fmt.Fprintln(w, "# g FTSA0 FTSAUB FTBAR0 FTBARUB CAFT0 CAFTUB FFCAFT FFFTBAR FTSAc FTBARc CAFTc OvFTSA0 OvFTSAc OvFTBAR0 OvFTBARc OvCAFT0 OvCAFTc"); err != nil {
 		return err
 	}
 	for _, p := range points {
-		if _, err := fmt.Fprintf(w, "%g %g %g %g %g %g %g %g %g %g %g %g %g %g %g %g %g %g\n",
+		cols := []float64{
 			p.G, p.FTSA0, p.FTSAUB, p.FTBAR0, p.FTBARUB, p.CAFT0, p.CAFTUB, p.FFCAFT, p.FFFTBAR,
 			p.FTSAc, p.FTBARc, p.CAFTc,
-			p.OvFTSA0, p.OvFTSAc, p.OvFTBAR0, p.OvFTBARc, p.OvCAFT0, p.OvCAFTc); err != nil {
+			p.OvFTSA0, p.OvFTSAc, p.OvFTBAR0, p.OvFTBARc, p.OvCAFT0, p.OvCAFTc,
+		}
+		row := make([]string, len(cols))
+		for i, v := range cols {
+			row[i] = gnuplotVal(v)
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, " ")); err != nil {
 			return err
 		}
 	}
@@ -29,6 +51,7 @@ func WriteGnuplotData(w io.Writer, points []Point) error {
 func WriteGnuplotScript(w io.Writer, figure int, dataFile string, crashes int) error {
 	_, err := fmt.Fprintf(w, `set terminal pngcairo size 800,1500
 set output "figure%d.png"
+set datafile missing "?"
 set multiplot layout 3,1 title "Figure %d"
 set xlabel "Granularity"
 set key top left

@@ -1,0 +1,48 @@
+package expt
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// An empty crash series (every draw lost a task) must render as the
+// gnuplot missing marker, never as 0 — and the script must declare the
+// marker so gnuplot actually skips the point.
+func TestGnuplotRendersEmptyCrashSeriesAsMissing(t *testing.T) {
+	nan := math.NaN()
+	pts := []Point{{
+		G:     0.2,
+		FTSA0: 1.5, FTSAUB: 2, FTBAR0: 1.6, FTBARUB: 2.1, CAFT0: 1.4, CAFTUB: 1.9,
+		FFCAFT: 1, FFFTBAR: 1.1,
+		FTSAc: 1.7, FTBARc: nan, CAFTc: nan,
+		OvFTSA0: 10, OvFTSAc: 12, OvFTBAR0: 11, OvFTBARc: nan, OvCAFT0: 5, OvCAFTc: nan,
+		FTSAcN: 3, FTBARcN: 0, CAFTcN: 0, TasksLost: 6,
+	}}
+	var data bytes.Buffer
+	if err := WriteGnuplotData(&data, pts); err != nil {
+		t.Fatal(err)
+	}
+	row := strings.Split(strings.TrimSpace(data.String()), "\n")[1]
+	fields := strings.Fields(row)
+	if len(fields) != 18 {
+		t.Fatalf("columns = %d, want 18", len(fields))
+	}
+	// Columns (1-based): 11 FTBARc, 12 CAFTc, 16 OvFTBARc, 18 OvCAFTc.
+	for _, idx := range []int{10, 11, 15, 17} {
+		if fields[idx] != gnuplotMissing {
+			t.Errorf("column %d = %q, want %q", idx+1, fields[idx], gnuplotMissing)
+		}
+	}
+	if strings.Contains(row, "NaN") {
+		t.Errorf("NaN leaked into data row %q", row)
+	}
+	var script bytes.Buffer
+	if err := WriteGnuplotScript(&script, 1, "figure1.dat", 1); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(script.String(), `set datafile missing "?"`) {
+		t.Error("script does not declare the missing marker")
+	}
+}

@@ -1,0 +1,120 @@
+package expt
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"testing"
+
+	"caft/internal/core"
+)
+
+// TestRunWorkerCountInvariance is the engine's core contract: the same
+// Config must produce identical []Point — down to the rendered bytes —
+// whether the work units run on one goroutine or many.
+func TestRunWorkerCountInvariance(t *testing.T) {
+	cfg, _ := FigureConfig(1, 6, 99)
+	cfg.Granularities = []float64{0.4, 1.2}
+
+	cfg.Workers = 1
+	p1, err := cfg.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 8
+	p8, err := cfg.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p1) != len(p8) {
+		t.Fatalf("point counts %d vs %d", len(p1), len(p8))
+	}
+	for i := range p1 {
+		// Compare rendered representations: struct equality would report
+		// spurious diffs on NaN fields (empty crash series), where
+		// NaN != NaN even for identical points.
+		a, b := fmt.Sprintf("%+v", p1[i]), fmt.Sprintf("%+v", p8[i])
+		if a != b {
+			t.Errorf("point %d differs between workers=1 and workers=8:\n%s\n%s", i, a, b)
+		}
+	}
+	var b1, b8 bytes.Buffer
+	if err := WriteGnuplotData(&b1, p1); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteGnuplotData(&b8, p8); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b8.Bytes()) {
+		t.Errorf("rendered data differs:\n%s\nvs\n%s", b1.String(), b8.String())
+	}
+}
+
+// TestExtrasWorkerCountInvariance pins the same contract for the four
+// ablation tables, which share the work-unit engine.
+func TestExtrasWorkerCountInvariance(t *testing.T) {
+	runners := []struct {
+		name string
+		fn   func(w io.Writer, graphs int, seed int64, workers int) error
+	}{
+		{"messages", RunMessages},
+		{"ablation", RunAblation},
+		{"accuracy", RunAccuracy},
+		{"sparse", RunSparse},
+	}
+	for _, r := range runners {
+		var b1, b7 bytes.Buffer
+		if err := r.fn(&b1, 2, 5, 1); err != nil {
+			t.Fatalf("%s workers=1: %v", r.name, err)
+		}
+		if err := r.fn(&b7, 2, 5, 7); err != nil {
+			t.Fatalf("%s workers=7: %v", r.name, err)
+		}
+		if !bytes.Equal(b1.Bytes(), b7.Bytes()) {
+			t.Errorf("%s output differs between worker counts:\n%s\nvs\n%s", r.name, b1.String(), b7.String())
+		}
+	}
+}
+
+// TestCrashSampleAccounting checks the Point bookkeeping that replaced
+// the old conflated `lost++`: every crash draw is either averaged (the
+// *cN counts), a genuine task loss, or a replay error — and for the
+// resilient default variants nothing is ever lost.
+func TestCrashSampleAccounting(t *testing.T) {
+	cfg, _ := FigureConfig(2, 5, 17)
+	cfg.Granularities = []float64{1.0}
+	pts, err := cfg.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := pts[0]
+	if pt.FTSAcN != cfg.Graphs || pt.FTBARcN != cfg.Graphs || pt.CAFTcN != cfg.Graphs {
+		t.Errorf("resilient variants dropped crash samples: %d/%d/%d of %d",
+			pt.FTSAcN, pt.FTBARcN, pt.CAFTcN, cfg.Graphs)
+	}
+	if pt.TasksLost != 0 || pt.ReplayErrors != 0 {
+		t.Errorf("lost=%d replayErrors=%d, want 0/0", pt.TasksLost, pt.ReplayErrors)
+	}
+
+	// The unsafe paper-locking ablation loses tasks on a large fraction
+	// of ε-crash draws (see package core's doc comment); those draws
+	// must land in TasksLost — not in ReplayErrors, and not in the
+	// averages.
+	cfg.CAFTOpts = core.Options{Greedy: true, Locking: core.PaperLocking}
+	pts, err = cfg.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt = pts[0]
+	if pt.ReplayErrors != 0 {
+		t.Errorf("replayErrors = %d, want 0", pt.ReplayErrors)
+	}
+	wantLost := 3*cfg.Graphs - (pt.FTSAcN + pt.FTBARcN + pt.CAFTcN)
+	if pt.TasksLost != wantLost {
+		t.Errorf("TasksLost = %d, want %d (samples %d/%d/%d of %d)",
+			pt.TasksLost, wantLost, pt.FTSAcN, pt.FTBARcN, pt.CAFTcN, cfg.Graphs)
+	}
+	if pt.FTSAcN != cfg.Graphs || pt.FTBARcN != cfg.Graphs {
+		t.Errorf("FTSA/FTBAR are unaffected by the CAFT ablation: samples %d/%d", pt.FTSAcN, pt.FTBARcN)
+	}
+}

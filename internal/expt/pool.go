@@ -1,0 +1,115 @@
+package expt
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// unitSeed derives the PRNG seed of one work unit from the experiment's
+// base seed, the cell the unit belongs to (a granularity, a table row, a
+// topology, ...) and the unit's index within the cell. The splitmix64
+// finalizer spreads nearby (cell, unit) pairs over the whole seed space,
+// so every unit gets an independent stream regardless of which worker
+// runs it — this is what makes the parallel engine's output a pure
+// function of (seed, cell, unit) and therefore identical for any worker
+// count.
+func unitSeed(base int64, cell, unit int) int64 {
+	h := uint64(base) + 0x9e3779b97f4a7c15*uint64(cell+1) + 0xbf58476d1ce4e5b9*uint64(unit+1)
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return int64(h)
+}
+
+// runUnits evaluates fn for every unit 0..n-1 across a pool of workers
+// (0 or negative means GOMAXPROCS) and returns the results in unit
+// order. Units must be independent — fn seeds its own PRNG from the
+// unit index.
+func runUnits[T any](workers, n int, fn func(u int) (T, error)) ([]T, error) {
+	if n < 0 {
+		n = 0
+	}
+	out := make([]T, n)
+	err := forEachUnit(workers, n, func(u int) error {
+		var err error
+		out[u], err = fn(u)
+		return err
+	}, nil)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// forEachUnit is the pool core: it runs fn(u) for every unit 0..n-1
+// across `workers` goroutines (0 or negative means GOMAXPROCS), with fn
+// writing its result into caller-owned storage. The optional onDone(u)
+// callback is invoked on the caller's goroutine, in completion order,
+// after each successful unit — so results can be consumed while later
+// units are still running. A failing unit stops the pool from claiming
+// further units; which of several concurrent failures is reported can
+// depend on scheduling, but a failing sweep always returns an error.
+func forEachUnit(workers, n int, fn func(u int) error, onDone func(u int)) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for u := 0; u < n; u++ {
+			if err := fn(u); err != nil {
+				return err
+			}
+			if onDone != nil {
+				onDone(u)
+			}
+		}
+		return nil
+	}
+	var failed atomic.Bool
+	var next atomic.Int64
+	errs := make([]error, n)
+	done := make(chan int, n)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for !failed.Load() {
+				u := int(next.Add(1)) - 1
+				if u >= n {
+					return
+				}
+				errs[u] = fn(u)
+				if errs[u] != nil {
+					failed.Store(true)
+				}
+				done <- u
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	// Receiving u happens-after the worker's write of unit u's result,
+	// so onDone may safely read it.
+	for u := range done {
+		if errs[u] == nil && onDone != nil {
+			onDone(u)
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

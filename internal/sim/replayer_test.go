@@ -1,0 +1,192 @@
+package sim
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"caft/internal/core"
+	"caft/internal/sched"
+	"caft/internal/sched/ftbar"
+	"caft/internal/sched/ftsa"
+	"caft/internal/timeline"
+)
+
+// resultsEqual compares two replays bit-exactly: same liveness, same
+// start/finish times, same lost tasks. The dense engine updates
+// operations in the same order as the reference, so even the float
+// arithmetic must agree exactly.
+func resultsEqual(t *testing.T, label string, got, want *Result) {
+	t.Helper()
+	if len(got.Reps) != len(want.Reps) || len(got.Comms) != len(want.Comms) {
+		t.Fatalf("%s: shape mismatch", label)
+	}
+	for ti := range want.Reps {
+		if len(got.Reps[ti]) != len(want.Reps[ti]) {
+			t.Fatalf("%s: task %d replica count %d vs %d", label, ti, len(got.Reps[ti]), len(want.Reps[ti]))
+		}
+		for i, w := range want.Reps[ti] {
+			g := got.Reps[ti][i]
+			if g.Alive != w.Alive || g.Start != w.Start || g.Finish != w.Finish {
+				t.Fatalf("%s: replica (%d,%d): got alive=%v [%v,%v), want alive=%v [%v,%v)",
+					label, ti, w.Rep.Copy, g.Alive, g.Start, g.Finish, w.Alive, w.Start, w.Finish)
+			}
+		}
+	}
+	for i, w := range want.Comms {
+		g := got.Comms[i]
+		if g.Alive != w.Alive || g.Start != w.Start || g.Finish != w.Finish {
+			t.Fatalf("%s: comm %d: got alive=%v [%v,%v), want alive=%v [%v,%v)",
+				label, i, g.Alive, g.Start, g.Finish, w.Alive, w.Start, w.Finish)
+		}
+	}
+	if len(got.TasksLost) != len(want.TasksLost) {
+		t.Fatalf("%s: lost %v vs %v", label, got.TasksLost, want.TasksLost)
+	}
+	for i := range want.TasksLost {
+		if got.TasksLost[i] != want.TasksLost[i] {
+			t.Fatalf("%s: lost %v vs %v", label, got.TasksLost, want.TasksLost)
+		}
+	}
+}
+
+// TestReplayerMatchesReference drives the dense scratch-buffer engine
+// and the original map-based engine over the same schedules, semantics
+// and crash sets (including crash sets beyond ε for the loss path, and
+// one Replayer reused across every replay of a schedule) and requires
+// identical results.
+func TestReplayerMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	build := []struct {
+		name string
+		f    func(p *sched.Problem, eps int) (*sched.Schedule, error)
+	}{
+		{"caft", func(p *sched.Problem, eps int) (*sched.Schedule, error) { return core.Schedule(p, eps, rng) }},
+		{"ftsa", func(p *sched.Problem, eps int) (*sched.Schedule, error) { return ftsa.Schedule(p, eps, rng) }},
+		{"ftbar", func(p *sched.Problem, eps int) (*sched.Schedule, error) { return ftbar.Schedule(p, eps, rng) }},
+	}
+	for trial := 0; trial < 4; trial++ {
+		m := 5
+		p := randomProblem(rng, 25+rng.Intn(15), m)
+		if trial == 3 {
+			p.Policy = timeline.Insertion
+		}
+		for _, bld := range build {
+			s, err := bld.f(p, 1+trial%2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := NewReplayer(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, sem := range []Semantics{FirstArrival, LastArrival} {
+				// No crash, single crashes, and an over-ε triple crash.
+				crashSets := []map[int]bool{nil, {0: true}, {m - 1: true}, {0: true, 2: true, 4: true}}
+				for ci, crashed := range crashSets {
+					opt := Options{Crashed: crashed, Sem: sem}
+					want, err := refReplay(s, opt)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, err := rep.Replay(opt)
+					if err != nil {
+						t.Fatal(err)
+					}
+					label := bld.name + "/" + sem.String()
+					resultsEqual(t, label, got, want)
+					if ci > 0 && sem == FirstArrival {
+						// Latency-only fast path agrees too.
+						lat, err := rep.CrashLatency(crashed)
+						wantLat, wantErr := want.Latency()
+						if (err == nil) != (wantErr == nil) || lat != wantLat {
+							t.Fatalf("%s: CrashLatency %v (%v) vs %v (%v)", label, lat, err, wantLat, wantErr)
+						}
+						if err != nil && !errors.Is(err, ErrTaskLost) {
+							t.Fatalf("%s: lost-task error %v does not satisfy ErrTaskLost", label, err)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestReplayerReuseIsStateless replays crash/no-crash alternations on
+// one Replayer and checks each result matches a fresh replay: no state
+// may leak between replays of the same schedule.
+func TestReplayerReuseIsStateless(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	p := randomProblem(rng, 30, 5)
+	s, err := core.Schedule(p, 2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := NewReplayer(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		crashed := map[int]bool{i % 5: true, (i * 3) % 5: true}
+		if i%4 == 0 {
+			crashed = nil
+		}
+		got, err := rep.CrashLatency(crashed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := CrashLatency(s, crashed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("replay %d: reused %v vs fresh %v", i, got, want)
+		}
+	}
+}
+
+// BenchmarkReplay compares the one-shot API (throwaway Replayer per
+// call), the reused scratch-buffer Replayer, and the original map-based
+// engine on the same crash replay.
+func BenchmarkReplay(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	p := randomProblem(rng, 100, 10)
+	s, err := core.Schedule(p, 3, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	crashed := map[int]bool{1: true, 4: true}
+	b.Run("map-reference", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			r, err := refReplay(s, Options{Crashed: crashed})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := r.Latency(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("oneshot", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := CrashLatency(s, crashed); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("reused", func(b *testing.B) {
+		rep, err := NewReplayer(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := rep.CrashLatency(crashed); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

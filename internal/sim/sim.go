@@ -22,12 +22,17 @@
 //     predecessor. With zero crashes, taking the completion time of the
 //     last replica of each task yields the paper's upper bound, the
 //     latency guaranteed even if ε processors fail.
+//
+// The engine replays on dense slice-indexed tables precomputed once per
+// schedule by a Replayer; the package-level helpers build a throwaway
+// Replayer, while hot loops (package expt, the Monte-Carlo ablations)
+// hold one per schedule so repeated replays allocate near-zero.
 package sim
 
 import (
+	"errors"
 	"fmt"
 	"math"
-	"sort"
 
 	"caft/internal/dag"
 	"caft/internal/sched"
@@ -49,6 +54,13 @@ func (s Semantics) String() string {
 	}
 	return "last-arrival"
 }
+
+// ErrTaskLost reports that a crash set killed every replica of some
+// task. It distinguishes a genuine task loss (possible for the unsafe
+// PaperLocking ablation, never for the resilient variants when at most
+// ε processors crash) from an engine failure such as a non-converging
+// fixpoint; test with errors.Is.
+var ErrTaskLost = errors.New("task lost")
 
 // Options configures a replay.
 type Options struct {
@@ -87,10 +99,11 @@ type Result struct {
 }
 
 // Latency returns the latest time at which at least one replica of each
-// task has been computed, or an error naming a lost task.
+// task has been computed, or an error satisfying errors.Is(err,
+// ErrTaskLost) naming a lost task.
 func (r *Result) Latency() (float64, error) {
 	if len(r.TasksLost) > 0 {
-		return math.Inf(1), fmt.Errorf("sim: task %d lost (no surviving replica)", r.TasksLost[0])
+		return math.Inf(1), fmt.Errorf("sim: task %d lost (no surviving replica): %w", r.TasksLost[0], ErrTaskLost)
 	}
 	lat := 0.0
 	for t := range r.Reps {
@@ -127,6 +140,9 @@ const (
 	opComm
 )
 
+// op is one replayed operation (replica execution or communication).
+// The identity fields are static; alive, start and finish are rewritten
+// on every replay.
 type op struct {
 	kind   int
 	rep    sched.Replica
@@ -135,259 +151,47 @@ type op struct {
 	dur    float64
 	start  float64
 	finish float64
-	// sortable identity
-	schedStart float64
-	seq        int32
+	seq    int32
 }
 
 // Replay recomputes the schedule's execution under the given options.
+// It builds a throwaway Replayer; callers replaying the same schedule
+// many times should hold a Replayer instead.
 func Replay(s *sched.Schedule, opt Options) (*Result, error) {
-	return replayOnce(s, opt, nil, nil)
-}
-
-// replayOnce runs one liveness+timing pass. deadReps (keyed by
-// (task,copy)) and deadComms (keyed by Comm.Seq) force additional
-// operations dead, used by the timed-crash fixpoint of ReplayTimed.
-func replayOnce(s *sched.Schedule, opt Options, deadReps map[[2]int]bool, deadComms map[int32]bool) (*Result, error) {
-	crashed := opt.Crashed
-	isCrashed := func(p int) bool { return crashed != nil && crashed[p] }
-	g := s.P.G
-	order, err := g.TopoOrder()
+	r, err := NewReplayer(s)
 	if err != nil {
 		return nil, err
 	}
-
-	// --- Build operations. ---
-	ops := make([]op, 0, s.ReplicaCount()+len(s.Comms))
-	repIdx := map[[2]int]int{} // (task, copy) -> op index
-	for t := range s.Reps {
-		for _, r := range s.Reps[t] {
-			repIdx[[2]int{int(r.Task), r.Copy}] = len(ops)
-			ops = append(ops, op{kind: opRep, rep: r, dur: r.Finish - r.Start, schedStart: r.Start, seq: r.Seq})
-		}
-	}
-	commAt := make([]int, len(s.Comms))
-	for i, c := range s.Comms {
-		commAt[i] = len(ops)
-		ops = append(ops, op{kind: opComm, comm: c, dur: c.Dur, schedStart: c.Start, seq: c.Seq})
-	}
-
-	// --- Phase 1: liveness, in topological task order. ---
-	// inputsOf[(task,copy)][pred] collects the comm op indices feeding a
-	// replica, per predecessor.
-	inputsOf := map[[2]int]map[dag.TaskID][]int{}
-	for i, c := range s.Comms {
-		k := [2]int{int(c.To), c.DstCopy}
-		if inputsOf[k] == nil {
-			inputsOf[k] = map[dag.TaskID][]int{}
-		}
-		inputsOf[k][c.From] = append(inputsOf[k][c.From], commAt[i])
-	}
-	for _, t := range order {
-		for _, r := range s.Reps[t] {
-			ri := repIdx[[2]int{int(t), r.Copy}]
-			alive := !isCrashed(r.Proc) && !deadReps[[2]int{int(t), r.Copy}]
-			if alive {
-				for _, e := range g.Pred(t) {
-					ok := false
-					for _, ci := range inputsOf[[2]int{int(t), r.Copy}][e.From] {
-						c := &ops[ci].comm
-						si, exists := repIdx[[2]int{int(c.From), c.SrcCopy}]
-						if exists && ops[si].alive && !isCrashed(c.DstProc) && !deadComms[c.Seq] {
-							ok = true
-							break
-						}
-					}
-					if !ok {
-						alive = false
-						break
-					}
-				}
-			}
-			ops[ri].alive = alive
-		}
-	}
-	for i, c := range s.Comms {
-		si, exists := repIdx[[2]int{int(c.From), c.SrcCopy}]
-		ops[commAt[i]].alive = exists && ops[si].alive && !isCrashed(c.DstProc) && !deadComms[c.Seq]
-	}
-
-	// --- Build per-resource sequences of surviving ops. ---
-	m := s.P.Plat.M
-	net := s.P.Network()
-	compute := make([][]int, m)
-	send := make([][]int, m)
-	recv := make([][]int, m)
-	link := make([][]int, net.NumLinks())
-	for i := range ops {
-		o := &ops[i]
-		if !o.alive {
-			continue
-		}
-		switch o.kind {
-		case opRep:
-			compute[o.rep.Proc] = append(compute[o.rep.Proc], i)
-		case opComm:
-			if o.comm.Intra || s.P.Model == sched.MacroDataflow {
-				continue
-			}
-			send[o.comm.SrcProc] = append(send[o.comm.SrcProc], i)
-			recv[o.comm.DstProc] = append(recv[o.comm.DstProc], i)
-			for _, l := range net.Route(o.comm.SrcProc, o.comm.DstProc) {
-				link[l] = append(link[l], i)
-			}
-		}
-	}
-	// Resource sequences replay in placement (seq) order. For
-	// append-policy schedules this coincides with scheduled-time order;
-	// for insertion-policy schedules it is the conservative executable
-	// order — placement order is consistent with the data dependencies,
-	// so the dependence graph stays acyclic, whereas time order would
-	// let a gap-inserted transfer wait on operations scheduled after it
-	// and deadlock the last-arrival replay.
-	bySched := func(seq []int) {
-		sort.Slice(seq, func(a, b int) bool {
-			return ops[seq[a]].seq < ops[seq[b]].seq
-		})
-	}
-	prev := make([][]int, len(ops)) // resource predecessors per op
-	chain := func(seq []int) {
-		bySched(seq)
-		for i := 1; i < len(seq); i++ {
-			prev[seq[i]] = append(prev[seq[i]], seq[i-1])
-		}
-	}
-	for _, seqs := range [][][]int{compute, send, recv, link} {
-		for _, seq := range seqs {
-			chain(seq)
-		}
-	}
-
-	// --- Phase 2: least-fixpoint timing over surviving ops. ---
-	// Sweep in (scheduled start, seq) order; all times are monotone
-	// non-decreasing across sweeps, so the iteration converges to the
-	// least fixpoint — every operation as early as its constraints allow.
-	sweep := make([]int, 0, len(ops))
-	for i := range ops {
-		if ops[i].alive {
-			sweep = append(sweep, i)
-		}
-	}
-	bySched(sweep)
-	sweeps := 0
-	for {
-		sweeps++
-		if sweeps > len(ops)+5 {
-			return nil, fmt.Errorf("sim: timing fixpoint did not converge after %d sweeps", sweeps)
-		}
-		changed := false
-		for _, i := range sweep {
-			o := &ops[i]
-			st := 0.0
-			for _, pi := range prev[i] {
-				if ops[pi].finish > st {
-					st = ops[pi].finish
-				}
-			}
-			switch o.kind {
-			case opComm:
-				si := repIdx[[2]int{int(o.comm.From), o.comm.SrcCopy}]
-				if ops[si].finish > st {
-					st = ops[si].finish
-				}
-			case opRep:
-				ins := inputsOf[[2]int{int(o.rep.Task), o.rep.Copy}]
-				for _, e := range g.Pred(o.rep.Task) {
-					agg := math.Inf(1)
-					if opt.Sem == LastArrival {
-						agg = 0
-					}
-					for _, ci := range ins[e.From] {
-						if !ops[ci].alive {
-							continue
-						}
-						f := ops[ci].finish
-						if opt.Sem == FirstArrival {
-							if f < agg {
-								agg = f
-							}
-						} else if f > agg {
-							agg = f
-						}
-					}
-					if math.IsInf(agg, 1) {
-						agg = 0 // unreachable: liveness guaranteed an input
-					}
-					if agg > st {
-						st = agg
-					}
-				}
-			}
-			if st > o.start {
-				o.start = st
-				o.finish = st + o.dur
-				changed = true
-			} else if o.finish != o.start+o.dur {
-				o.finish = o.start + o.dur
-				changed = true
-			}
-		}
-		if !changed {
-			break
-		}
-	}
-
-	// --- Collect results. ---
-	res := &Result{Reps: make([][]RepOutcome, len(s.Reps)), Sweeps: sweeps}
-	for i := range s.Comms {
-		o := ops[commAt[i]]
-		res.Comms = append(res.Comms, CommOutcome{Comm: o.comm, Alive: o.alive, Start: o.start, Finish: o.finish})
-	}
-	for t := range s.Reps {
-		anyAlive := false
-		for _, r := range s.Reps[t] {
-			i := repIdx[[2]int{int(t), r.Copy}]
-			o := ops[i]
-			out := RepOutcome{Rep: r, Alive: o.alive, Start: o.start, Finish: o.finish}
-			if o.alive {
-				anyAlive = true
-			}
-			res.Reps[t] = append(res.Reps[t], out)
-		}
-		if !anyAlive {
-			res.TasksLost = append(res.TasksLost, dag.TaskID(t))
-		}
-	}
-	return res, nil
+	return r.Replay(opt)
 }
 
 // LowerBound replays the schedule with no crashes under first-arrival
 // semantics: the latency achieved if no processor fails.
 func LowerBound(s *sched.Schedule) (float64, error) {
-	r, err := Replay(s, Options{Sem: FirstArrival})
+	r, err := NewReplayer(s)
 	if err != nil {
 		return 0, err
 	}
-	return r.Latency()
+	return r.LowerBound()
 }
 
 // UpperBound replays the schedule with no crashes under last-arrival
 // semantics and returns the completion time of the last replica of any
 // task — the latency guaranteed even when ε processors fail.
 func UpperBound(s *sched.Schedule) (float64, error) {
-	r, err := Replay(s, Options{Sem: LastArrival})
+	r, err := NewReplayer(s)
 	if err != nil {
 		return 0, err
 	}
-	return r.LatencyAllReplicas(), nil
+	return r.UpperBound()
 }
 
 // CrashLatency replays the schedule with the given crashed processors
 // under first-arrival semantics and returns the achieved latency.
 func CrashLatency(s *sched.Schedule, crashed map[int]bool) (float64, error) {
-	r, err := Replay(s, Options{Crashed: crashed, Sem: FirstArrival})
+	r, err := NewReplayer(s)
 	if err != nil {
 		return 0, err
 	}
-	return r.Latency()
+	return r.CrashLatency(crashed)
 }

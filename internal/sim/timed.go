@@ -23,11 +23,15 @@ import (
 // set under the optimistic ordering, matching an execution in which the
 // system never waits for work that will never arrive.
 func ReplayTimed(s *sched.Schedule, crashTimes map[int]float64, sem Semantics) (*Result, error) {
+	rep, err := NewReplayer(s)
+	if err != nil {
+		return nil, err
+	}
 	deadReps := map[[2]int]bool{}
 	deadComms := map[int32]bool{}
 	limit := s.ReplicaCount() + len(s.Comms) + 2
 	for iter := 0; iter < limit; iter++ {
-		res, err := replayOnce(s, Options{Sem: sem}, deadReps, deadComms)
+		res, err := rep.replay(Options{Sem: sem}, deadReps, deadComms)
 		if err != nil {
 			return nil, err
 		}

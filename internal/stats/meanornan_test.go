@@ -1,0 +1,23 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMeanOrNaN(t *testing.T) {
+	if got := MeanOrNaN(nil); !math.IsNaN(got) {
+		t.Errorf("MeanOrNaN(nil) = %v, want NaN", got)
+	}
+	if got := MeanOrNaN([]float64{}); !math.IsNaN(got) {
+		t.Errorf("MeanOrNaN(empty) = %v, want NaN", got)
+	}
+	if got := MeanOrNaN([]float64{2, 4}); got != 3 {
+		t.Errorf("MeanOrNaN({2,4}) = %v, want 3", got)
+	}
+	// Contrast with Mean, which keeps its historical 0-for-empty
+	// contract for callers that treat an empty sample as a zero total.
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v, want 0", got)
+	}
+}

@@ -28,6 +28,17 @@ func Mean(xs []float64) float64 {
 	return s / float64(len(xs))
 }
 
+// MeanOrNaN returns the arithmetic mean, or NaN for an empty sample.
+// Use it for series where "no data" must stay distinguishable from a
+// genuine zero — e.g. a crash-latency series in which every draw lost a
+// task would otherwise read as latency 0.0 ("instant").
+func MeanOrNaN(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	return Mean(xs)
+}
+
 // Std returns the sample standard deviation (0 for n < 2).
 func Std(xs []float64) float64 {
 	n := len(xs)
