@@ -253,6 +253,44 @@ func BenchmarkCrashReplay(b *testing.B) {
 	})
 }
 
+// BenchmarkReplayTimed measures the timed fail-stop replay: the
+// one-shot package API (which rebuilds the Replayer and its tables on
+// every call) against the reused scratch path the reliability
+// experiments drive. Run with -benchmem: the fixpoint replays the whole
+// schedule several times per call, so the reused path's flat buffers
+// cut allocs/op by well over an order of magnitude.
+func BenchmarkReplayTimed(b *testing.B) {
+	rng := rand.New(rand.NewSource(10))
+	p := benchProblem(rng, 10, 1.0, timeline.Append)
+	s, err := core.Schedule(p, 3, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	horizon := s.MakespanAll()
+	crashTimes := map[int]float64{1: horizon / 3, 4: horizon / 2}
+	b.Run("oneshot", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sim.CrashLatencyAt(s, crashTimes); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("reused", func(b *testing.B) {
+		rep, err := sim.NewReplayer(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := rep.CrashLatencyAt(crashTimes); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkSparseTopology runs CAFT on routed sparse interconnects (X1).
 func BenchmarkSparseTopology(b *testing.B) {
 	nets := []struct {

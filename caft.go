@@ -21,10 +21,13 @@
 package caft
 
 import (
+	"errors"
+	"math"
 	"math/rand"
 
 	"caft/internal/core"
 	"caft/internal/dag"
+	"caft/internal/failure"
 	"caft/internal/platform"
 	"caft/internal/sched"
 	"caft/internal/sched/ftbar"
@@ -66,6 +69,20 @@ type (
 	// ReplayResult holds the replayed times of every replica and
 	// communication after fault injection.
 	ReplayResult = sim.Result
+	// FailureModel samples per-processor crash-time scenarios for the
+	// timed fail-stop replay.
+	FailureModel = failure.Model
+	// ExponentialFailures draws independent memoryless lifetimes with
+	// heterogeneous per-processor MTBF.
+	ExponentialFailures = failure.Exponential
+	// WeibullFailures draws Weibull lifetimes (shape < 1 infant
+	// mortality, > 1 wear-out).
+	WeibullFailures = failure.Weibull
+	// TraceFailures plays back predetermined crash scenarios.
+	TraceFailures = failure.Trace
+	// RackFailures correlates failures within processor groups (e.g.
+	// topology.Racks proximity groups).
+	RackFailures = failure.Rack
 )
 
 // NewDAG returns a DAG with n unnamed tasks and no edges.
@@ -141,4 +158,48 @@ func CrashLatency(s *Schedule, crashed map[int]bool) (float64, error) {
 // before each processor's crash instant survives.
 func CrashLatencyAt(s *Schedule, crashTimes map[int]float64) (float64, error) {
 	return sim.CrashLatencyAt(s, crashTimes)
+}
+
+// UniformMTBF draws a heterogeneous per-processor MTBF vector uniform
+// in [lo, hi], for the failure models.
+func UniformMTBF(rng *rand.Rand, m int, lo, hi float64) []float64 {
+	return failure.UniformMTBF(rng, m, lo, hi)
+}
+
+// Unreliability estimates by Monte Carlo the probability that the
+// schedule loses a task under the failure model: n crash-time
+// scenarios are sampled and replayed with timed fail-stop semantics on
+// a reused replayer. It returns the loss fraction and the mean latency
+// over the surviving scenarios (NaN if none survived). An engine
+// failure (any replay error that is not a task loss) aborts the
+// estimate rather than being blamed on the schedule.
+func Unreliability(s *Schedule, model FailureModel, n int, rng *rand.Rand) (unrel, meanLatency float64, err error) {
+	rep, err := sim.NewReplayer(s)
+	if err != nil {
+		return 0, 0, err
+	}
+	lost, survived := 0, 0
+	latSum := 0.0
+	scratch := map[int]float64{}
+	for i := 0; i < n; i++ {
+		lat, err := rep.CrashLatencyAt(model.Sample(rng, scratch))
+		switch {
+		case errors.Is(err, sim.ErrTaskLost):
+			lost++
+		case err != nil:
+			return 0, 0, err
+		default:
+			survived++
+			latSum += lat
+		}
+	}
+	if n > 0 {
+		unrel = float64(lost) / float64(n)
+	}
+	if survived > 0 {
+		meanLatency = latSum / float64(survived)
+	} else {
+		meanLatency = math.NaN()
+	}
+	return unrel, meanLatency, nil
 }

@@ -12,11 +12,13 @@
 //	caftsim -figure ablation                     # CAFT variant ablation (A1/A4)
 //	caftsim -figure accuracy                     # macro-dataflow estimate accuracy (A3)
 //	caftsim -figure sparse                       # sparse-topology extension (X1)
+//	caftsim -figure reliability                  # stochastic failure models (S4)
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"path/filepath"
@@ -29,36 +31,40 @@ import (
 
 func main() {
 	var (
-		figure  = flag.String("figure", "1", "figure to regenerate: 1..6, optionally with panel suffix a/b/c; or all, messages, ablation, accuracy, sparse")
+		figure  = flag.String("figure", "1", "figure to regenerate: 1..6, optionally with panel suffix a/b/c; or all, messages, ablation, accuracy, sparse, reliability")
 		graphs  = flag.Int("graphs", 60, "random graphs per point (paper: 60)")
 		seed    = flag.Int64("seed", 1, "base PRNG seed")
-		plot    = flag.String("plot", "", "also write gnuplot data+script for figure runs into this directory")
+		plot    = flag.String("plot", "", "also write gnuplot data+script for figure and reliability runs into this directory")
 		workers = flag.Int("workers", 0, "concurrent work units (0 = all cores); output is identical for any value")
 	)
 	flag.Parse()
-	if err := run(*figure, *graphs, *seed, *plot, *workers); err != nil {
+	if err := run(os.Stdout, *figure, *graphs, *seed, *plot, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "caftsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(figure string, graphs int, seed int64, plotDir string, workers int) error {
+// run dispatches one -figure invocation, writing all reproducible
+// output (everything but wall-clock timing) to w.
+func run(w io.Writer, figure string, graphs int, seed int64, plotDir string, workers int) error {
 	switch figure {
 	case "all":
 		for n := 1; n <= 6; n++ {
-			if err := runFigure(n, "", graphs, seed, plotDir, workers); err != nil {
+			if err := runFigure(w, n, "", graphs, seed, plotDir, workers); err != nil {
 				return err
 			}
 		}
 		return nil
 	case "messages":
-		return expt.RunMessages(os.Stdout, graphs, seed, workers)
+		return expt.RunMessages(w, graphs, seed, workers)
 	case "ablation":
-		return expt.RunAblation(os.Stdout, graphs, seed, workers)
+		return expt.RunAblation(w, graphs, seed, workers)
 	case "accuracy":
-		return expt.RunAccuracy(os.Stdout, graphs, seed, workers)
+		return expt.RunAccuracy(w, graphs, seed, workers)
 	case "sparse":
-		return expt.RunSparse(os.Stdout, graphs, seed, workers)
+		return expt.RunSparse(w, graphs, seed, workers)
+	case "reliability":
+		return runReliability(w, graphs, seed, plotDir, workers)
 	}
 	panel := ""
 	num := figure
@@ -69,7 +75,7 @@ func run(figure string, graphs int, seed int64, plotDir string, workers int) err
 	if err != nil {
 		return fmt.Errorf("unknown figure %q", figure)
 	}
-	return runFigure(n, panel, graphs, seed, plotDir, workers)
+	return runFigure(w, n, panel, graphs, seed, plotDir, workers)
 }
 
 // col renders one TSV value; an empty series (NaN mean) prints as the
@@ -81,13 +87,28 @@ func col(v float64, prec int) string {
 	return strconv.FormatFloat(v, 'f', prec, 64)
 }
 
-func runFigure(n int, panel string, graphs int, seed int64, plotDir string, workers int) error {
+func runReliability(w io.Writer, graphs int, seed int64, plotDir string, workers int) error {
+	start := time.Now()
+	points, err := expt.RunReliability(w, graphs, seed, workers)
+	if err != nil {
+		return err
+	}
+	if plotDir != "" {
+		if err := writeReliabilityPlots(plotDir, points); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "# reliability: elapsed %s\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+func runFigure(w io.Writer, n int, panel string, graphs int, seed int64, plotDir string, workers int) error {
 	cfg, err := expt.FigureConfig(n, graphs, seed)
 	if err != nil {
 		return err
 	}
 	cfg.Workers = workers
-	fmt.Printf("# Figure %d%s: m=%d eps=%d crashes=%d graphs/point=%d seed=%d\n",
+	fmt.Fprintf(w, "# Figure %d%s: m=%d eps=%d crashes=%d graphs/point=%d seed=%d\n",
 		n, panel, cfg.M, cfg.Eps, cfg.Crashes, cfg.Graphs, seed)
 	start := time.Now()
 	points, err := cfg.Run(nil)
@@ -95,26 +116,26 @@ func runFigure(n int, panel string, graphs int, seed int64, plotDir string, work
 		return err
 	}
 	if panel == "" || panel == "a" {
-		fmt.Println("## panel (a): normalized latency, 0 crash + bounds + fault-free")
-		fmt.Println("g\tFTSA0\tFTSA-UB\tFTBAR0\tFTBAR-UB\tCAFT0\tCAFT-UB\tFF-CAFT\tFF-FTBAR")
+		fmt.Fprintln(w, "## panel (a): normalized latency, 0 crash + bounds + fault-free")
+		fmt.Fprintln(w, "g\tFTSA0\tFTSA-UB\tFTBAR0\tFTBAR-UB\tCAFT0\tCAFT-UB\tFF-CAFT\tFF-FTBAR")
 		for _, p := range points {
-			fmt.Printf("%.1f\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\n",
+			fmt.Fprintf(w, "%.1f\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\n",
 				p.G, p.FTSA0, p.FTSAUB, p.FTBAR0, p.FTBARUB, p.CAFT0, p.CAFTUB, p.FFCAFT, p.FFFTBAR)
 		}
 	}
 	if panel == "" || panel == "b" {
-		fmt.Printf("## panel (b): normalized latency, 0 crash vs %d crash(es)\n", cfg.Crashes)
-		fmt.Println("g\tFTSA0\tFTSAc\tFTBAR0\tFTBARc\tCAFT0\tCAFTc")
+		fmt.Fprintf(w, "## panel (b): normalized latency, 0 crash vs %d crash(es)\n", cfg.Crashes)
+		fmt.Fprintln(w, "g\tFTSA0\tFTSAc\tFTBAR0\tFTBARc\tCAFT0\tCAFTc")
 		for _, p := range points {
-			fmt.Printf("%.1f\t%.2f\t%s\t%.2f\t%s\t%.2f\t%s\n",
+			fmt.Fprintf(w, "%.1f\t%.2f\t%s\t%.2f\t%s\t%.2f\t%s\n",
 				p.G, p.FTSA0, col(p.FTSAc, 2), p.FTBAR0, col(p.FTBARc, 2), p.CAFT0, col(p.CAFTc, 2))
 		}
 	}
 	if panel == "" || panel == "c" {
-		fmt.Println("## panel (c): average overhead (%) vs fault-free CAFT")
-		fmt.Println("g\tFTSA0\tFTSAc\tFTBAR0\tFTBARc\tCAFT0\tCAFTc")
+		fmt.Fprintln(w, "## panel (c): average overhead (%) vs fault-free CAFT")
+		fmt.Fprintln(w, "g\tFTSA0\tFTSAc\tFTBAR0\tFTBARc\tCAFT0\tCAFTc")
 		for _, p := range points {
-			fmt.Printf("%.1f\t%.1f\t%s\t%.1f\t%s\t%.1f\t%s\n",
+			fmt.Fprintf(w, "%.1f\t%.1f\t%s\t%.1f\t%s\t%.1f\t%s\n",
 				p.G, p.OvFTSA0, col(p.OvFTSAc, 1), p.OvFTBAR0, col(p.OvFTBARc, 1), p.OvCAFT0, col(p.OvCAFTc, 1))
 		}
 	}
@@ -125,7 +146,7 @@ func runFigure(n int, panel string, graphs int, seed int64, plotDir string, work
 			if p.TasksLost > 0 || p.ReplayErrors > 0 {
 				// Each graph's crash draw is replayed once per fault-tolerant
 				// scheduler, so the denominator is 3×graphs replays per point.
-				fmt.Printf("# g=%.1f: %d of %d crash replays lost a task, %d replay error(s); surviving samples FTSA=%d FTBAR=%d CAFT=%d of %d\n",
+				fmt.Fprintf(w, "# g=%.1f: %d of %d crash replays lost a task, %d replay error(s); surviving samples FTSA=%d FTBAR=%d CAFT=%d of %d\n",
 					p.G, p.TasksLost, 3*cfg.Graphs, p.ReplayErrors, p.FTSAcN, p.FTBARcN, p.CAFTcN, cfg.Graphs)
 			}
 		}
@@ -137,7 +158,7 @@ func runFigure(n int, panel string, graphs int, seed int64, plotDir string, work
 	}
 	// The wall-clock line goes to stderr: stdout must stay byte-identical
 	// for any -workers value.
-	fmt.Printf("# messages/graph (mean): CAFT %.0f  FTSA %.0f  FTBAR %.0f  HEFT %.0f\n",
+	fmt.Fprintf(w, "# messages/graph (mean): CAFT %.0f  FTSA %.0f  FTBAR %.0f  HEFT %.0f\n",
 		meanLast(points, func(p expt.Point) float64 { return p.MsgCAFT }),
 		meanLast(points, func(p expt.Point) float64 { return p.MsgFTSA }),
 		meanLast(points, func(p expt.Point) float64 { return p.MsgFTBAR }),
@@ -168,6 +189,35 @@ func writePlots(dir string, n, crashes int, points []expt.Point) error {
 		return err
 	}
 	if err := expt.WriteGnuplotScript(gf, n, dataName, crashes); err != nil {
+		gf.Close()
+		return err
+	}
+	return gf.Close()
+}
+
+// writeReliabilityPlots drops reliability.dat and reliability.gp into
+// dir (the MTBF sweep only; the model-comparison rows have no x axis).
+func writeReliabilityPlots(dir string, points []expt.ReliabilityPoint) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	const dataName = "reliability.dat"
+	df, err := os.Create(filepath.Join(dir, dataName))
+	if err != nil {
+		return err
+	}
+	if err := expt.WriteReliabilityGnuplotData(df, points); err != nil {
+		df.Close()
+		return err
+	}
+	if err := df.Close(); err != nil {
+		return err
+	}
+	gf, err := os.Create(filepath.Join(dir, "reliability.gp"))
+	if err != nil {
+		return err
+	}
+	if err := expt.WriteReliabilityGnuplotScript(gf, dataName); err != nil {
 		gf.Close()
 		return err
 	}

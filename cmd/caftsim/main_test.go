@@ -1,10 +1,22 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// -update regenerates the golden files from the current engine:
+//
+//	go test ./cmd/caftsim -run Golden -update
+var update = flag.Bool("update", false, "rewrite golden TSV files")
 
 func TestRunRejectsUnknownFigure(t *testing.T) {
 	for _, bad := range []string{"7", "0", "x", "1d", "abc"} {
-		if err := run(bad, 1, 1, "", 1); err == nil {
+		if err := run(io.Discard, bad, 1, 1, "", 1); err == nil {
 			t.Errorf("figure %q accepted", bad)
 		}
 	}
@@ -14,7 +26,7 @@ func TestRunPanelSelection(t *testing.T) {
 	// Tiny runs: 1 graph per point would still sweep 10 granularities,
 	// so exercise only the cheapest figure with panel filters.
 	for _, fig := range []string{"1a", "1b", "1c"} {
-		if err := run(fig, 1, 1, "", 0); err != nil {
+		if err := run(io.Discard, fig, 1, 1, "", 0); err != nil {
 			t.Fatalf("figure %s: %v", fig, err)
 		}
 	}
@@ -22,8 +34,56 @@ func TestRunPanelSelection(t *testing.T) {
 
 func TestRunSpecialFigures(t *testing.T) {
 	for _, fig := range []string{"messages", "sparse"} {
-		if err := run(fig, 1, 1, "", 0); err != nil {
+		if err := run(io.Discard, fig, 1, 1, "", 0); err != nil {
 			t.Fatalf("figure %s: %v", fig, err)
 		}
+	}
+}
+
+// TestGoldenOutput pins the exact bytes of the TSV the CLI emits for a
+// small seeded run of the classic figure 1 and of the reliability
+// figure. Output-format drift — column changes, float formatting,
+// header wording — fails here instead of silently changing plots, and
+// running every case at two worker counts pins the engine's
+// determinism guarantee: the bytes must not depend on scheduling.
+func TestGoldenOutput(t *testing.T) {
+	cases := []struct {
+		golden string
+		figure string
+		graphs int
+	}{
+		{"figure1_g2_seed1.tsv", "1", 2},
+		{"reliability_g2_seed1.tsv", "reliability", 2},
+	}
+	for _, c := range cases {
+		t.Run(c.figure, func(t *testing.T) {
+			path := filepath.Join("testdata", c.golden)
+			var first []byte
+			for _, workers := range []int{1, 8} {
+				var buf bytes.Buffer
+				if err := run(&buf, c.figure, c.graphs, 1, "", workers); err != nil {
+					t.Fatal(err)
+				}
+				if first == nil {
+					first = buf.Bytes()
+				} else if !bytes.Equal(first, buf.Bytes()) {
+					t.Fatalf("figure %s output differs between -workers 1 and -workers 8", c.figure)
+				}
+			}
+			if *update {
+				if err := os.WriteFile(path, first, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (regenerate with -update): %v", err)
+			}
+			if !bytes.Equal(first, want) {
+				t.Fatalf("figure %s output drifted from %s;\nif intentional, regenerate with: go test ./cmd/caftsim -run Golden -update\ngot:\n%s\nwant:\n%s",
+					c.figure, path, first, want)
+			}
+		})
 	}
 }

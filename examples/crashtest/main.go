@@ -6,15 +6,22 @@
 // replay slack. Also shows the phenomenon of Figures 1(b)/2(b): losing
 // a processor can make the remaining schedule finish EARLIER, because
 // its messages disappear from the contended ports.
+//
+// A second section leaves the static-subset world: crash instants are
+// sampled from an exponential lifetime model (package failure) and
+// replayed with timed fail-stop semantics on a reused Replayer,
+// estimating the schedule's unreliability by Monte Carlo.
 package main
 
 import (
+	"errors"
 	"fmt"
 	"log"
 	"math"
 	"math/rand"
 
 	"caft/internal/core"
+	"caft/internal/failure"
 	"caft/internal/gen"
 	"caft/internal/platform"
 	"caft/internal/sched"
@@ -65,4 +72,38 @@ func main() {
 	fmt.Printf("%d scenarios finished EARLIER than the failure-free replay —\n", faster)
 	fmt.Println("dead processors stop sending, so surviving messages clear the ports sooner")
 	fmt.Println("(the effect discussed below Figure 2 in the paper).")
+
+	// Stochastic section: exponential lifetimes at a few MTBF levels.
+	// With timed semantics more than eps crashes need not lose a task —
+	// work finished before a crash survives — so the Monte-Carlo
+	// unreliability stays well below the naive >2-crashes probability.
+	fmt.Println()
+	rep, err := sim.NewReplayer(s)
+	if err != nil {
+		log.Fatal(err)
+	}
+	const samples = 2000
+	for _, mult := range []float64{2, 8, 32} {
+		model := &failure.Exponential{MTBF: failure.UniformMTBF(rng, m, 0.75*mult*lb, 1.25*mult*lb)}
+		lost, latSum, survived := 0, 0.0, 0
+		scratch := map[int]float64{}
+		for i := 0; i < samples; i++ {
+			lat, err := rep.CrashLatencyAt(model.Sample(rng, scratch))
+			switch {
+			case errors.Is(err, sim.ErrTaskLost):
+				lost++
+			case err != nil:
+				log.Fatal(err)
+			default:
+				survived++
+				latSum += lat
+			}
+		}
+		meanLat := "-"
+		if survived > 0 {
+			meanLat = fmt.Sprintf("%.1f", latSum/float64(survived))
+		}
+		fmt.Printf("exponential MTBF ~%gx latency: unreliability %.3f, expected latency %s over %d survivors\n",
+			mult, float64(lost)/samples, meanLat, survived)
+	}
 }

@@ -1,0 +1,97 @@
+package expt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestReliabilityDeterministicAcrossWorkers(t *testing.T) {
+	var w1, w4 bytes.Buffer
+	p1, err := RunReliability(&w1, 1, 7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p4, err := RunReliability(&w4, 1, 7, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w1.String() != w4.String() {
+		t.Fatal("reliability TSV differs between -workers 1 and -workers 4")
+	}
+	if len(p1) != len(p4) {
+		t.Fatalf("point counts differ: %d vs %d", len(p1), len(p4))
+	}
+}
+
+func TestReliabilityPointInvariants(t *testing.T) {
+	var buf bytes.Buffer
+	points, err := RunReliability(&buf, 2, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows := len(reliabilityMults) + len(reliabilityModels)
+	if len(points) != wantRows {
+		t.Fatalf("%d rows, want %d", len(points), wantRows)
+	}
+	sweepRows := 0
+	for _, pt := range points {
+		if pt.Mult > 0 {
+			sweepRows++
+		}
+		for a, alg := range ReliabilityAlgs {
+			if pt.Draws[a] > 2*reliabilitySamples {
+				t.Fatalf("%s %s: %d draws from %d samples", pt.Label, alg, pt.Draws[a], 2*reliabilitySamples)
+			}
+			u := pt.Unrel[a]
+			if u < 0 || u > 1 {
+				t.Fatalf("%s %s: unreliability %v outside [0,1]", pt.Label, alg, u)
+			}
+		}
+	}
+	if sweepRows != len(reliabilityMults) {
+		t.Fatalf("%d sweep rows carry a multiplier, want %d", sweepRows, len(reliabilityMults))
+	}
+	out := buf.String()
+	for _, want := range []string{"mtbf/T\t", "## failure-model comparison", "weibull-k0.7", "racks-2"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("TSV output missing %q:\n%s", want, out)
+		}
+	}
+
+	// The plot writers must accept the rows: the sweep data has one line
+	// per multiplier plus the header, and the script references the file.
+	var dat, gp bytes.Buffer
+	if err := WriteReliabilityGnuplotData(&dat, points); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(dat.String(), "\n"); lines != len(reliabilityMults)+1 {
+		t.Fatalf("gnuplot data has %d lines, want %d", lines, len(reliabilityMults)+1)
+	}
+	if err := WriteReliabilityGnuplotScript(&gp, "reliability.dat"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(gp.String(), `"reliability.dat"`) {
+		t.Fatal("gnuplot script does not reference the data file")
+	}
+}
+
+// TestReliabilityReplicationHelps pins the headline contrast of the
+// experiment: in the rare-failure regime (the largest MTBF multiplier),
+// the ε = 1 schedulers must be estimated at least as reliable as
+// unreplicated HEFT — on enough samples, strictly more reliable.
+func TestReliabilityReplicationHelps(t *testing.T) {
+	var buf bytes.Buffer
+	points, err := RunReliability(&buf, 3, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := points[len(reliabilityMults)-1]
+	heft := last.Unrel[0]
+	for a := 1; a < len(ReliabilityAlgs); a++ {
+		if last.Unrel[a] > heft {
+			t.Fatalf("%s unreliability %v exceeds HEFT's %v at MTBF %gxT",
+				ReliabilityAlgs[a], last.Unrel[a], heft, last.Mult)
+		}
+	}
+}

@@ -46,6 +46,8 @@ type Replayer struct {
 	// Per-replay scratch.
 	crashed    []bool
 	prev       [][]int32 // resource predecessors of each op this replay
+	dead       []bool    // per op: forced dead by the timed-crash fixpoint
+	deadline   []float64 // per op: crash instant it must beat this timed replay
 	lastSweeps int       // fixpoint sweeps of the latest run
 }
 
@@ -168,6 +170,8 @@ func NewReplayer(s *sched.Schedule) (*Replayer, error) {
 
 	r.crashed = make([]bool, m)
 	r.prev = make([][]int32, len(r.ops))
+	r.dead = make([]bool, len(r.ops))
+	r.deadline = make([]float64, len(r.ops))
 	return r, nil
 }
 
@@ -201,10 +205,9 @@ func (r *Replayer) setCrashed(crashed map[int]bool) {
 }
 
 // run executes one liveness+timing pass against the current crash
-// bitmap. deadReps (keyed by (task, copy)) and deadComms (keyed by
-// Comm.Seq) force additional operations dead, used by the timed-crash
-// fixpoint of ReplayTimed; both may be nil.
-func (r *Replayer) run(sem Semantics, deadReps map[[2]int]bool, deadComms map[int32]bool) error {
+// bitmap. dead (indexed like r.ops) forces additional operations dead,
+// used by the timed-crash fixpoint of ReplayTimed; it may be nil.
+func (r *Replayer) run(sem Semantics, dead []bool) error {
 	s, g := r.s, r.s.P.G
 	ops := r.ops
 
@@ -218,7 +221,7 @@ func (r *Replayer) run(sem Semantics, deadReps map[[2]int]bool, deadComms map[in
 	for _, t := range r.order {
 		for _, rep := range s.Reps[t] {
 			ri := r.repOf[t][rep.Copy]
-			alive := !r.crashed[rep.Proc] && !deadReps[[2]int{int(t), rep.Copy}]
+			alive := !r.crashed[rep.Proc] && (dead == nil || !dead[ri])
 			if alive {
 				base := r.inBase[ri]
 				for j := range g.Pred(t) {
@@ -227,7 +230,7 @@ func (r *Replayer) run(sem Semantics, deadReps map[[2]int]bool, deadComms map[in
 					for _, ci := range r.inAdj[r.inOff[sl]:r.inOff[sl+1]] {
 						c := &ops[ci].comm
 						si := r.srcOf[ci-int32(r.nRep)]
-						if si >= 0 && ops[si].alive && !r.crashed[c.DstProc] && !deadComms[c.Seq] {
+						if si >= 0 && ops[si].alive && !r.crashed[c.DstProc] && (dead == nil || !dead[ci]) {
 							ok = true
 							break
 						}
@@ -243,7 +246,7 @@ func (r *Replayer) run(sem Semantics, deadReps map[[2]int]bool, deadComms map[in
 	}
 	for i, c := range s.Comms {
 		si := r.srcOf[i]
-		ops[r.nRep+i].alive = si >= 0 && ops[si].alive && !r.crashed[c.DstProc] && !deadComms[c.Seq]
+		ops[r.nRep+i].alive = si >= 0 && ops[si].alive && !r.crashed[c.DstProc] && (dead == nil || !dead[r.nRep+i])
 	}
 
 	// --- Chain surviving ops per resource, in placement order. ---
@@ -334,13 +337,9 @@ func (r *Replayer) run(sem Semantics, deadReps map[[2]int]bool, deadComms map[in
 	}
 }
 
-// replay runs one pass and materializes the full Result (this is the
-// only allocating step of a steady-state replay).
-func (r *Replayer) replay(opt Options, deadReps map[[2]int]bool, deadComms map[int32]bool) (*Result, error) {
-	r.setCrashed(opt.Crashed)
-	if err := r.run(opt.Sem, deadReps, deadComms); err != nil {
-		return nil, err
-	}
+// materialize copies the scratch tables of the latest run into a fresh
+// Result (the only allocating step of a steady-state replay).
+func (r *Replayer) materialize() *Result {
 	s := r.s
 	res := &Result{Reps: make([][]RepOutcome, len(s.Reps)), Sweeps: r.lastSweeps}
 	res.Comms = make([]CommOutcome, 0, len(s.Comms))
@@ -362,13 +361,17 @@ func (r *Replayer) replay(opt Options, deadReps map[[2]int]bool, deadComms map[i
 			res.TasksLost = append(res.TasksLost, dag.TaskID(t))
 		}
 	}
-	return res, nil
+	return res
 }
 
 // Replay recomputes the schedule's execution under the given options,
 // like the package-level Replay but reusing this Replayer's tables.
 func (r *Replayer) Replay(opt Options) (*Result, error) {
-	return r.replay(opt, nil, nil)
+	r.setCrashed(opt.Crashed)
+	if err := r.run(opt.Sem, nil); err != nil {
+		return nil, err
+	}
+	return r.materialize(), nil
 }
 
 // latency computes Result.Latency directly from the scratch tables.
@@ -397,7 +400,7 @@ func (r *Replayer) latency() (float64, error) {
 // errors.Is(err, ErrTaskLost).
 func (r *Replayer) CrashLatency(crashed map[int]bool) (float64, error) {
 	r.setCrashed(crashed)
-	if err := r.run(FirstArrival, nil, nil); err != nil {
+	if err := r.run(FirstArrival, nil); err != nil {
 		return 0, err
 	}
 	return r.latency()
@@ -413,7 +416,7 @@ func (r *Replayer) LowerBound() (float64, error) {
 // returns the completion time of the last replica of any task.
 func (r *Replayer) UpperBound() (float64, error) {
 	r.setCrashed(nil)
-	if err := r.run(LastArrival, nil, nil); err != nil {
+	if err := r.run(LastArrival, nil); err != nil {
 		return 0, err
 	}
 	lat := 0.0

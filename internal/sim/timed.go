@@ -2,16 +2,65 @@ package sim
 
 import (
 	"fmt"
+	"math"
 
 	"caft/internal/sched"
 )
 
-// ReplayTimed replays a schedule under timed fail-stop failures: each
-// entry of crashTimes maps a processor to the instant it permanently
-// stops. Work the processor completed before that instant survives —
-// a replica counts as executed only if it finishes no later than the
-// crash, and a message is delivered only if its transfer completes
-// before both its sender's and its receiver's crash instants.
+// runTimed grows the dead set of the timed-crash fixpoint on the
+// Replayer's scratch buffers: per-op deadlines are loaded once from
+// crashTimes, then liveness+timing passes run until no surviving
+// operation violates its deadline. It allocates nothing.
+func (r *Replayer) runTimed(crashTimes map[int]float64, sem Semantics) error {
+	for i := range r.crashed {
+		r.crashed[i] = false
+	}
+	for i := range r.ops {
+		r.dead[i] = false
+		o := &r.ops[i]
+		d := math.Inf(1)
+		switch o.kind {
+		case opRep:
+			if tau, ok := crashTimes[o.rep.Proc]; ok {
+				d = tau
+			}
+		case opComm:
+			// A transfer must complete before both endpoints crash.
+			if tau, ok := crashTimes[o.comm.SrcProc]; ok {
+				d = tau
+			}
+			if tau, ok := crashTimes[o.comm.DstProc]; ok && tau < d {
+				d = tau
+			}
+		}
+		r.deadline[i] = d
+	}
+	limit := len(r.ops) + 2
+	for iter := 0; iter < limit; iter++ {
+		if err := r.run(sem, r.dead); err != nil {
+			return err
+		}
+		changed := false
+		for i := range r.ops {
+			if o := &r.ops[i]; o.alive && o.finish > r.deadline[i]+sched.Eps {
+				r.dead[i] = true
+				changed = true
+			}
+		}
+		if !changed {
+			return nil
+		}
+	}
+	return fmt.Errorf("sim: timed-crash fixpoint did not converge")
+}
+
+// ReplayTimed replays the schedule under timed fail-stop failures,
+// reusing this Replayer's tables and scratch: each entry of crashTimes
+// maps a processor to the instant it permanently stops. Work the
+// processor completed before that instant survives — a replica counts
+// as executed only if it finishes no later than the crash, and a
+// message is delivered only if its transfer completes before both its
+// sender's and its receiver's crash instants.
 //
 // A static crash (Replay with Options.Crashed) is the special case
 // crashTime = 0. Replay with no crashes is the special case of an empty
@@ -22,60 +71,43 @@ import (
 // operation violates a crash instant. The result is the least such dead
 // set under the optimistic ordering, matching an execution in which the
 // system never waits for work that will never arrive.
+func (r *Replayer) ReplayTimed(crashTimes map[int]float64, sem Semantics) (*Result, error) {
+	if err := r.runTimed(crashTimes, sem); err != nil {
+		return nil, err
+	}
+	return r.materialize(), nil
+}
+
+// CrashLatencyAt replays timed crashes under first-arrival semantics
+// and returns the achieved latency without materializing a Result —
+// the Monte-Carlo entry point of the reliability experiments; a
+// steady-state call allocates nothing. A lost task reports an error
+// satisfying errors.Is(err, ErrTaskLost).
+func (r *Replayer) CrashLatencyAt(crashTimes map[int]float64) (float64, error) {
+	if err := r.runTimed(crashTimes, FirstArrival); err != nil {
+		return 0, err
+	}
+	return r.latency()
+}
+
+// ReplayTimed replays a schedule under timed fail-stop failures (see
+// Replayer.ReplayTimed). It builds a throwaway Replayer; hot loops —
+// every fixpoint iteration replays the whole schedule — should hold a
+// Replayer and call its ReplayTimed or CrashLatencyAt instead.
 func ReplayTimed(s *sched.Schedule, crashTimes map[int]float64, sem Semantics) (*Result, error) {
 	rep, err := NewReplayer(s)
 	if err != nil {
 		return nil, err
 	}
-	deadReps := map[[2]int]bool{}
-	deadComms := map[int32]bool{}
-	limit := s.ReplicaCount() + len(s.Comms) + 2
-	for iter := 0; iter < limit; iter++ {
-		res, err := rep.replay(Options{Sem: sem}, deadReps, deadComms)
-		if err != nil {
-			return nil, err
-		}
-		changed := false
-		for t := range res.Reps {
-			for _, o := range res.Reps[t] {
-				if !o.Alive {
-					continue
-				}
-				if tau, ok := crashTimes[o.Rep.Proc]; ok && o.Finish > tau+sched.Eps {
-					deadReps[[2]int{int(o.Rep.Task), o.Rep.Copy}] = true
-					changed = true
-				}
-			}
-		}
-		for _, o := range res.Comms {
-			if !o.Alive {
-				continue
-			}
-			deadline, has := crashTimes[o.Comm.SrcProc], false
-			if _, ok := crashTimes[o.Comm.SrcProc]; ok {
-				has = true
-			}
-			if tau, ok := crashTimes[o.Comm.DstProc]; ok && (!has || tau < deadline) {
-				deadline, has = tau, true
-			}
-			if has && o.Finish > deadline+sched.Eps {
-				deadComms[o.Comm.Seq] = true
-				changed = true
-			}
-		}
-		if !changed {
-			return res, nil
-		}
-	}
-	return nil, fmt.Errorf("sim: timed-crash fixpoint did not converge")
+	return rep.ReplayTimed(crashTimes, sem)
 }
 
 // CrashLatencyAt replays with timed crashes and returns the achieved
-// latency.
+// latency, via a throwaway Replayer.
 func CrashLatencyAt(s *sched.Schedule, crashTimes map[int]float64) (float64, error) {
-	r, err := ReplayTimed(s, crashTimes, FirstArrival)
+	rep, err := NewReplayer(s)
 	if err != nil {
 		return 0, err
 	}
-	return r.Latency()
+	return rep.CrashLatencyAt(crashTimes)
 }

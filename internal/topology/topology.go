@@ -169,6 +169,55 @@ func (g *Graph) MeanUnitDelay() float64 {
 	return s / float64(g.m*(g.m-1))
 }
 
+// Racks partitions the processors into k groups of interconnect
+// neighbors: the BFS visit order from processor 0 (deterministic, by
+// link insertion order) is cut into k contiguous chunks, so processors
+// that are close in the interconnect land in the same group. On a mesh
+// or torus the chunks are spatial blocks; on a ring they are arcs. The
+// partition feeds the correlated failure model (failure.Rack), which
+// crashes a whole group at its common-mode failure instant. k is
+// clamped to [1, m]; the first m mod k racks get the extra processor.
+func (g *Graph) Racks(k int) [][]int {
+	if k < 1 {
+		k = 1
+	}
+	if k > g.m {
+		k = g.m
+	}
+	// BFS from 0 over directed links in insertion order.
+	order := make([]int, 0, g.m)
+	visited := make([]bool, g.m)
+	visited[0] = true
+	queue := []int{0}
+	adj := make([][]int, g.m)
+	for id, a := range g.from {
+		adj[a] = append(adj[a], id)
+	}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		order = append(order, u)
+		for _, id := range adj[u] {
+			if v := g.to[id]; !visited[v] {
+				visited[v] = true
+				queue = append(queue, v)
+			}
+		}
+	}
+	racks := make([][]int, k)
+	base, extra := g.m/k, g.m%k
+	at := 0
+	for i := range racks {
+		n := base
+		if i < extra {
+			n++
+		}
+		racks[i] = append([]int(nil), order[at:at+n]...)
+		at += n
+	}
+	return racks
+}
+
 // Diameter returns the maximum route length in hops.
 func (g *Graph) Diameter() int {
 	d := 0

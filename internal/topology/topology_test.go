@@ -224,3 +224,58 @@ func TestStarLinkContention(t *testing.T) {
 		t.Fatalf("t2 start = %v, want 17 (link serialization through hub)", rep.Start)
 	}
 }
+
+// Racks must partition the processors into proximity groups: every
+// processor in exactly one rack, rack sizes balanced, and on a mesh the
+// two racks split into spatially contiguous halves.
+func TestRacksPartition(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		g    *Graph
+		k    int
+	}{
+		{"ring", Ring(8, 1), 3},
+		{"mesh", Mesh2D(2, 3, 1), 2},
+		{"hypercube", Hypercube(3, 1), 4},
+		{"star-clamped", Star(4, 1), 9}, // k > m clamps to m
+	} {
+		racks := tc.g.Racks(tc.k)
+		m := tc.g.NumProcs()
+		k := tc.k
+		if k > m {
+			k = m
+		}
+		if len(racks) != k {
+			t.Fatalf("%s: %d racks, want %d", tc.name, len(racks), k)
+		}
+		seen := make([]bool, m)
+		for _, r := range racks {
+			if len(r) < m/k || len(r) > m/k+1 {
+				t.Fatalf("%s: rack size %d unbalanced for m=%d k=%d", tc.name, len(r), m, k)
+			}
+			for _, p := range r {
+				if seen[p] {
+					t.Fatalf("%s: P%d in two racks", tc.name, p)
+				}
+				seen[p] = true
+			}
+		}
+		for p, ok := range seen {
+			if !ok {
+				t.Fatalf("%s: P%d in no rack", tc.name, p)
+			}
+		}
+	}
+}
+
+func TestRacksDeterministic(t *testing.T) {
+	g := Torus2D(3, 3, 1)
+	a, b := g.Racks(3), g.Racks(3)
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatal("Racks is not deterministic")
+			}
+		}
+	}
+}
