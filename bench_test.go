@@ -132,6 +132,29 @@ func BenchmarkAblationInsertion(b *testing.B) {
 	}
 }
 
+// BenchmarkScheduleInsertion pins the payoff of the clone-free probe
+// refactor on the probe-heaviest scheduler under the Insertion policy:
+// the speculative (journaled, rolled-back) probe path against the
+// deep-clone-per-probe reference it replaced. Run with -benchmem; the
+// acceptance bar is >=5x fewer allocs/op for the speculative mode, and
+// in practice steady-state probes are allocation-free.
+func BenchmarkScheduleInsertion(b *testing.B) {
+	for _, mode := range []sched.ProbeMode{sched.SpeculativeProbe, sched.CloneProbe} {
+		b.Run(mode.String(), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(12))
+			p := benchProblem(rng, 10, 1.0, timeline.Insertion)
+			p.Probe = mode
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := ftsa.Schedule(p, 2, rand.New(rand.NewSource(7))); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkAblationContention measures how far the macro-dataflow
 // estimate deviates from the one-port replay of the same schedule (A3).
 func BenchmarkAblationContention(b *testing.B) {
@@ -158,6 +181,23 @@ func BenchmarkAblationContention(b *testing.B) {
 	}
 	b.ReportMetric(est/expt.DefaultNorm, "macro-estimate")
 	b.ReportMetric(replayed/expt.DefaultNorm, "one-port-replay")
+}
+
+// BenchmarkScale runs a reduced large-DAG scale study (the -figure
+// scale experiment) end to end, exercising the speculative probe path
+// under both reservation policies at sizes past the paper's regime. In
+// -short mode (CI) it shrinks to the smallest size so every push still
+// drives the probe-heavy journal/rollback machinery.
+func BenchmarkScale(b *testing.B) {
+	sizes := []int{100, 200}
+	if testing.Short() {
+		sizes = sizes[:1]
+	}
+	for i := 0; i < b.N; i++ {
+		if err := expt.RunScale(io.Discard, io.Discard, sizes, 1, 1, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkCAFTComplexity traces the Thm. 5.1 scaling of CAFT's running

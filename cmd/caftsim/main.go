@@ -13,6 +13,12 @@
 //	caftsim -figure accuracy                     # macro-dataflow estimate accuracy (A3)
 //	caftsim -figure sparse                       # sparse-topology extension (X1)
 //	caftsim -figure reliability                  # stochastic failure models (S4)
+//	caftsim -figure scale -graphs 3              # large-DAG scale study (S5)
+//
+// The scale study sweeps v up to 3200 tasks and is the heaviest figure
+// by far: run it with a small -graphs value, and use -vmax to cap the
+// sweep. Its wall-clock scheduling times go to stderr; stdout stays a
+// pure function of (-graphs, -seed, -vmax).
 package main
 
 import (
@@ -31,14 +37,15 @@ import (
 
 func main() {
 	var (
-		figure  = flag.String("figure", "1", "figure to regenerate: 1..6, optionally with panel suffix a/b/c; or all, messages, ablation, accuracy, sparse, reliability")
-		graphs  = flag.Int("graphs", 60, "random graphs per point (paper: 60)")
+		figure  = flag.String("figure", "1", "figure to regenerate: 1..6, optionally with panel suffix a/b/c; or all, messages, ablation, accuracy, sparse, reliability, scale")
+		graphs  = flag.Int("graphs", 60, "random graphs per point (paper: 60; use ~3 for -figure scale)")
 		seed    = flag.Int64("seed", 1, "base PRNG seed")
 		plot    = flag.String("plot", "", "also write gnuplot data+script for figure and reliability runs into this directory")
 		workers = flag.Int("workers", 0, "concurrent work units (0 = all cores); output is identical for any value")
+		vmax    = flag.Int("vmax", 3200, "scale figure: largest task count of the sweep")
 	)
 	flag.Parse()
-	if err := run(os.Stdout, *figure, *graphs, *seed, *plot, *workers); err != nil {
+	if err := run(os.Stdout, *figure, *graphs, *seed, *plot, *workers, *vmax); err != nil {
 		fmt.Fprintln(os.Stderr, "caftsim:", err)
 		os.Exit(1)
 	}
@@ -46,7 +53,7 @@ func main() {
 
 // run dispatches one -figure invocation, writing all reproducible
 // output (everything but wall-clock timing) to w.
-func run(w io.Writer, figure string, graphs int, seed int64, plotDir string, workers int) error {
+func run(w io.Writer, figure string, graphs int, seed int64, plotDir string, workers, vmax int) error {
 	switch figure {
 	case "all":
 		for n := 1; n <= 6; n++ {
@@ -65,6 +72,8 @@ func run(w io.Writer, figure string, graphs int, seed int64, plotDir string, wor
 		return expt.RunSparse(w, graphs, seed, workers)
 	case "reliability":
 		return runReliability(w, graphs, seed, plotDir, workers)
+	case "scale":
+		return runScale(w, graphs, seed, workers, vmax)
 	}
 	panel := ""
 	num := figure
@@ -99,6 +108,26 @@ func runReliability(w io.Writer, graphs int, seed int64, plotDir string, workers
 		}
 	}
 	fmt.Fprintf(os.Stderr, "# reliability: elapsed %s\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// runScale sweeps the scale-study sizes up to vmax. Wall-clock
+// scheduling times go to stderr so w stays deterministic.
+func runScale(w io.Writer, graphs int, seed int64, workers, vmax int) error {
+	var sizes []int
+	for _, v := range expt.ScaleSizes {
+		if v <= vmax {
+			sizes = append(sizes, v)
+		}
+	}
+	if len(sizes) == 0 {
+		return fmt.Errorf("-vmax %d is below the smallest scale size %d", vmax, expt.ScaleSizes[0])
+	}
+	start := time.Now()
+	if err := expt.RunScale(w, os.Stderr, sizes, graphs, seed, workers); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "# scale: elapsed %s\n", time.Since(start).Round(time.Millisecond))
 	return nil
 }
 

@@ -16,9 +16,13 @@ var update = flag.Bool("update", false, "rewrite golden TSV files")
 
 func TestRunRejectsUnknownFigure(t *testing.T) {
 	for _, bad := range []string{"7", "0", "x", "1d", "abc"} {
-		if err := run(io.Discard, bad, 1, 1, "", 1); err == nil {
+		if err := run(io.Discard, bad, 1, 1, "", 1, 3200); err == nil {
 			t.Errorf("figure %q accepted", bad)
 		}
+	}
+	// A vmax below the smallest scale size leaves nothing to sweep.
+	if err := run(io.Discard, "scale", 1, 1, "", 1, 50); err == nil {
+		t.Error("scale with vmax below the smallest size accepted")
 	}
 }
 
@@ -26,7 +30,7 @@ func TestRunPanelSelection(t *testing.T) {
 	// Tiny runs: 1 graph per point would still sweep 10 granularities,
 	// so exercise only the cheapest figure with panel filters.
 	for _, fig := range []string{"1a", "1b", "1c"} {
-		if err := run(io.Discard, fig, 1, 1, "", 0); err != nil {
+		if err := run(io.Discard, fig, 1, 1, "", 0, 3200); err != nil {
 			t.Fatalf("figure %s: %v", fig, err)
 		}
 	}
@@ -34,7 +38,7 @@ func TestRunPanelSelection(t *testing.T) {
 
 func TestRunSpecialFigures(t *testing.T) {
 	for _, fig := range []string{"messages", "sparse"} {
-		if err := run(io.Discard, fig, 1, 1, "", 0); err != nil {
+		if err := run(io.Discard, fig, 1, 1, "", 0, 3200); err != nil {
 			t.Fatalf("figure %s: %v", fig, err)
 		}
 	}
@@ -51,9 +55,13 @@ func TestGoldenOutput(t *testing.T) {
 		golden string
 		figure string
 		graphs int
+		vmax   int
 	}{
-		{"figure1_g2_seed1.tsv", "1", 2},
-		{"reliability_g2_seed1.tsv", "reliability", 2},
+		{"figure1_g2_seed1.tsv", "1", 2, 3200},
+		{"reliability_g2_seed1.tsv", "reliability", 2, 3200},
+		// The scale sweep is capped at v=400 to stay affordable in CI
+		// while still crossing the paper's v in [80,120] regime.
+		{"scale_g2_v400_seed1.tsv", "scale", 2, 400},
 	}
 	for _, c := range cases {
 		t.Run(c.figure, func(t *testing.T) {
@@ -61,7 +69,7 @@ func TestGoldenOutput(t *testing.T) {
 			var first []byte
 			for _, workers := range []int{1, 8} {
 				var buf bytes.Buffer
-				if err := run(&buf, c.figure, c.graphs, 1, "", workers); err != nil {
+				if err := run(&buf, c.figure, c.graphs, 1, "", workers, c.vmax); err != nil {
 					t.Fatal(err)
 				}
 				if first == nil {

@@ -6,12 +6,14 @@
 //
 //	dagen -kind random -seed 7 > dag.json
 //	dagen -kind fork -n 16 -volume 100
+//	dagen -kind outforest -n 30 -roots 2 -degree 3 -volume 80
 //	dagen -kind fft -n 3
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 
@@ -20,46 +22,88 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if err != flag.ErrHelp {
+			fmt.Fprintln(os.Stderr, "dagen:", err)
+		}
+		os.Exit(1)
+	}
+}
+
+// run parses flags, generates the requested graph and writes its JSON
+// to stdout, with a one-line size summary on stderr.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("dagen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		kind   = flag.String("kind", "random", "graph family: random, fork, join, chain, outforest, diamond, stencil, montage, fft")
-		n      = flag.Int("n", 10, "size parameter (leaves, length, tasks, width, or log2 points depending on kind)")
-		depth  = flag.Int("depth", 4, "depth parameter for diamond/stencil")
-		volume = flag.Float64("volume", 100, "edge data volume for structured families")
-		seed   = flag.Int64("seed", 1, "PRNG seed for random families")
-		minT   = flag.Int("min-tasks", gen.DefaultParams.MinTasks, "random: minimum task count")
-		maxT   = flag.Int("max-tasks", gen.DefaultParams.MaxTasks, "random: maximum task count")
+		kind   = fs.String("kind", "random", "graph family: random, fork, join, chain, outforest, diamond, stencil, montage, fft")
+		n      = fs.Int("n", 10, "size parameter (leaves, length, tasks, width, or log2 points depending on kind)")
+		depth  = fs.Int("depth", 4, "depth parameter for diamond/stencil")
+		volume = fs.Float64("volume", 100, "edge data volume for structured families (outforest included)")
+		seed   = fs.Int64("seed", 1, "PRNG seed for random families")
+		minT   = fs.Int("min-tasks", gen.DefaultParams.MinTasks, "random: minimum task count")
+		maxT   = fs.Int("max-tasks", gen.DefaultParams.MaxTasks, "random: maximum task count")
+		roots  = fs.Int("roots", 2, "outforest: number of tree roots")
+		degree = fs.Int("degree", 0, "outforest: maximum out-degree per task (0 = unbounded)")
 	)
-	flag.Parse()
-	rng := rand.New(rand.NewSource(*seed))
-	var g *dag.DAG
-	switch *kind {
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	g, err := generate(*kind, *n, *depth, *volume, *seed, *minT, *maxT, *roots, *degree)
+	if err != nil {
+		return err
+	}
+	if err := g.Write(stdout); err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "dagen: %d tasks, %d edges, width %d\n", g.NumTasks(), g.NumEdges(), g.Width())
+	return nil
+}
+
+// generate validates the parameters of the selected family and builds
+// the graph.
+func generate(kind string, n, depth int, volume float64, seed int64, minT, maxT, roots, degree int) (*dag.DAG, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("-n must be positive, got %d", n)
+	}
+	if depth < 1 {
+		return nil, fmt.Errorf("-depth must be positive, got %d", depth)
+	}
+	if volume < 0 {
+		return nil, fmt.Errorf("-volume must be non-negative, got %v", volume)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	switch kind {
 	case "random":
+		if minT < 1 || maxT < minT {
+			return nil, fmt.Errorf("bad task range [-min-tasks %d, -max-tasks %d]", minT, maxT)
+		}
 		params := gen.DefaultParams
-		params.MinTasks, params.MaxTasks = *minT, *maxT
-		g = gen.RandomLayered(rng, params)
+		params.MinTasks, params.MaxTasks = minT, maxT
+		return gen.RandomLayered(rng, params), nil
 	case "fork":
-		g = gen.Fork(*n, *volume)
+		return gen.Fork(n, volume), nil
 	case "join":
-		g = gen.Join(*n, *volume)
+		return gen.Join(n, volume), nil
 	case "chain":
-		g = gen.Chain(*n, *volume)
+		return gen.Chain(n, volume), nil
 	case "outforest":
-		g = gen.RandomOutForest(rng, *n, 2, 50, 150)
+		if roots < 1 {
+			return nil, fmt.Errorf("-roots must be positive, got %d", roots)
+		}
+		if degree < 0 {
+			return nil, fmt.Errorf("-degree must be non-negative, got %d", degree)
+		}
+		return gen.RandomOutForest(rng, n, roots, degree, volume, volume), nil
 	case "diamond":
-		g = gen.Diamond(*n, *depth, *volume)
+		return gen.Diamond(n, depth, volume), nil
 	case "stencil":
-		g = gen.Stencil(*depth, *n, *volume)
+		return gen.Stencil(depth, n, volume), nil
 	case "montage":
-		g = gen.Montage(*n, *volume)
+		return gen.Montage(n, volume), nil
 	case "fft":
-		g = gen.FFT(*n, *volume)
+		return gen.FFT(n, volume), nil
 	default:
-		fmt.Fprintf(os.Stderr, "dagen: unknown kind %q\n", *kind)
-		os.Exit(1)
+		return nil, fmt.Errorf("unknown kind %q", kind)
 	}
-	if err := g.Write(os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "dagen:", err)
-		os.Exit(1)
-	}
-	fmt.Fprintf(os.Stderr, "dagen: %d tasks, %d edges, width %d\n", g.NumTasks(), g.NumEdges(), g.Width())
 }

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"caft/internal/dag"
+)
+
+// Every -kind must emit JSON that round-trips through dag.Read into an
+// identical graph.
+func TestJSONRoundTripEveryKind(t *testing.T) {
+	kinds := []string{"random", "fork", "join", "chain", "outforest", "diamond", "stencil", "montage", "fft"}
+	for _, kind := range kinds {
+		t.Run(kind, func(t *testing.T) {
+			args := []string{"-kind", kind, "-n", "6", "-depth", "3", "-seed", "5"}
+			var out, errOut bytes.Buffer
+			if err := run(args, &out, &errOut); err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			g, err := dag.Read(bytes.NewReader(out.Bytes()))
+			if err != nil {
+				t.Fatalf("decoding emitted JSON: %v", err)
+			}
+			if g.NumTasks() == 0 {
+				t.Fatal("empty graph emitted")
+			}
+			var again bytes.Buffer
+			if err := g.Write(&again); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(out.Bytes(), again.Bytes()) {
+				t.Errorf("JSON round trip not stable for kind %s", kind)
+			}
+			if !strings.Contains(errOut.String(), "tasks") {
+				t.Errorf("summary line missing: %q", errOut.String())
+			}
+		})
+	}
+}
+
+func TestFlagValidation(t *testing.T) {
+	bad := [][]string{
+		{"-kind", "nosuch"},
+		{"-n", "0"},
+		{"-n", "-3"},
+		{"-depth", "0"},
+		{"-volume", "-1"},
+		{"-kind", "random", "-min-tasks", "0"},
+		{"-kind", "random", "-min-tasks", "9", "-max-tasks", "3"},
+		{"-kind", "outforest", "-roots", "0"},
+		{"-kind", "outforest", "-degree", "-1"},
+		{"-not-a-flag"},
+	}
+	for _, args := range bad {
+		if err := run(args, io.Discard, io.Discard); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+// The outforest family must honor -volume and -degree: every edge
+// carries exactly the requested volume and no task exceeds the
+// out-degree cap (the pre-fix behavior hardcoded volumes to [50,150]
+// and ignored both flags).
+func TestOutforestHonorsVolumeAndDegree(t *testing.T) {
+	g, err := generate("outforest", 40, 4, 7.5, 3, 80, 120, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumTasks() != 40 || g.NumEdges() != 38 {
+		t.Fatalf("forest has %d tasks, %d edges; want 40, 38", g.NumTasks(), g.NumEdges())
+	}
+	outdeg := make([]int, g.NumTasks())
+	for _, e := range g.Edges() {
+		if e.Volume != 7.5 {
+			t.Fatalf("edge %d->%d has volume %v, want 7.5", e.From, e.To, e.Volume)
+		}
+		outdeg[e.From]++
+	}
+	for id, d := range outdeg {
+		if d > 2 {
+			t.Errorf("task %d has out-degree %d, above the -degree 2 cap", id, d)
+		}
+	}
+	// Unbounded degree (0) must remain available.
+	if _, err := generate("outforest", 20, 4, 100, 1, 80, 120, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+}

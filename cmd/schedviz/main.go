@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"strconv"
@@ -44,19 +45,21 @@ func main() {
 		trace = flag.String("trace", "", "write the replay event trace as CSV to this file")
 	)
 	flag.Parse()
-	if err := run(*algo, *eps, *m, *kind, *gran, *seed, *width, *ports, *crash, *svg, *trace); err != nil {
+	if err := run(os.Stdout, os.Stdin, *algo, *eps, *m, *kind, *gran, *seed, *width, *ports, *crash, *svg, *trace); err != nil {
 		fmt.Fprintln(os.Stderr, "schedviz:", err)
 		os.Exit(1)
 	}
 }
 
-func run(algo string, eps, m int, kind string, gran float64, seed int64, width int, ports bool, crash, svgPath, tracePath string) error {
+// run builds and renders one schedule, writing the chart and replay
+// summary to out; in is only consulted when no -kind is given.
+func run(out io.Writer, in io.Reader, algo string, eps, m int, kind string, gran float64, seed int64, width int, ports bool, crash, svgPath, tracePath string) error {
 	rng := rand.New(rand.NewSource(seed))
 	var g *dag.DAG
 	var err error
 	switch kind {
 	case "":
-		if g, err = dag.Read(os.Stdin); err != nil {
+		if g, err = dag.Read(in); err != nil {
 			return fmt.Errorf("reading DAG from stdin: %w", err)
 		}
 	case "random":
@@ -92,9 +95,9 @@ func run(algo string, eps, m int, kind string, gran float64, seed int64, width i
 	if err != nil {
 		return err
 	}
-	viz.Summary(os.Stdout, s)
-	fmt.Println()
-	if err := viz.Render(os.Stdout, s, viz.Options{Width: width, Ports: ports}); err != nil {
+	viz.Summary(out, s)
+	fmt.Fprintln(out)
+	if err := viz.Render(out, s, viz.Options{Width: width, Ports: ports}); err != nil {
 		return err
 	}
 	if svgPath != "" {
@@ -141,7 +144,7 @@ func run(algo string, eps, m int, kind string, gran float64, seed int64, width i
 	if err != nil {
 		return err
 	}
-	fmt.Printf("\nreplay: latency %.2f with 0 crashes, %.2f with crashes %v (upper bound %.2f)\n", lat0, latC, keys(crashed), ub)
+	fmt.Fprintf(out, "\nreplay: latency %.2f with 0 crashes, %.2f with crashes %v (upper bound %.2f)\n", lat0, latC, keys(crashed), ub)
 	if tracePath != "" {
 		r, err := sim.Replay(s, sim.Options{Crashed: crashed})
 		if err != nil {

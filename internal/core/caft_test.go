@@ -71,7 +71,7 @@ func TestProp51OutforestMessageBound(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	for trial := 0; trial < 12; trial++ {
 		n := 10 + rng.Intn(40)
-		g := gen.RandomOutForest(rng, n, 1+rng.Intn(2), 50, 150)
+		g := gen.RandomOutForest(rng, n, 1+rng.Intn(2), 0, 50, 150)
 		m := 5 + rng.Intn(5)
 		plat := platform.NewRandom(rng, m, 0.5, 1.0)
 		exec := platform.GenExecForGranularity(rng, g, plat, 1.0, platform.DefaultHeterogeneity)

@@ -39,7 +39,7 @@ func RunMessages(w io.Writer, graphs int, seed int64, workers int) error {
 		name string
 		gen  func(rng *rand.Rand) *dag.DAG
 	}{
-		{"outforest", func(rng *rand.Rand) *dag.DAG { return gen.RandomOutForest(rng, 60, 2, 50, 150) }},
+		{"outforest", func(rng *rand.Rand) *dag.DAG { return gen.RandomOutForest(rng, 60, 2, 0, 50, 150) }},
 		{"fork", func(rng *rand.Rand) *dag.DAG { return gen.Fork(30, 100) }},
 		{"random", func(rng *rand.Rand) *dag.DAG { return gen.RandomLayered(rng, gen.DefaultParams) }},
 	}

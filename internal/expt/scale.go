@@ -1,0 +1,132 @@
+package expt
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"caft/internal/core"
+	"caft/internal/gen"
+	"caft/internal/platform"
+	"caft/internal/sched"
+	"caft/internal/sched/ftbar"
+	"caft/internal/sched/ftsa"
+	"caft/internal/sched/heft"
+	"caft/internal/timeline"
+)
+
+// ScaleSizes is the default task-count sweep of the scale study: the
+// paper's v in [80,120] regime extended by successive doublings into
+// the territory where the survey literature evaluates heuristics. The
+// clone-free speculative probe path is what makes the top of this range
+// affordable.
+var ScaleSizes = []int{100, 200, 400, 800, 1600, 3200}
+
+// scaleMeas is one scheduler's measurement on one instance.
+type scaleMeas struct {
+	lat, reps, msgs float64
+	ns              int64
+}
+
+// scaleUnit is the complete measurement of one (size, policy, graph)
+// work unit, in algorithm order HEFT, CAFT, FTSA, FTBAR.
+type scaleUnit [4]scaleMeas
+
+var scaleAlgos = [4]string{"HEFT", "CAFT", "FTSA", "FTBAR"}
+
+// RunScale runs the large-DAG scale study: random layered graphs of v
+// tasks for every v in sizes are scheduled by HEFT, CAFT (greedy
+// Algorithm 5.1, so the wall-clock numbers trace a single schedule
+// construction), FTSA and FTBAR, under both reservation policies, on
+// m=10 processors with eps=1 and granularity 1.0. One TSV row per
+// (v, policy, algorithm) with the mean normalized latency, replica
+// count and inter-processor message count goes to w; everything
+// written to w is a pure function of (sizes, graphs, seed), identical
+// for any worker count. Mean wall-clock scheduling times — which are
+// machine- and load-dependent, and noisier when workers > 1 because
+// units time each other's cache pressure — go to timing as comment
+// lines.
+func RunScale(w, timing io.Writer, sizes []int, graphs int, seed int64, workers int) error {
+	const (
+		m    = 10
+		eps  = 1
+		gran = 1.0
+	)
+	if graphs < 0 {
+		return fmt.Errorf("expt: negative graph count %d", graphs)
+	}
+	if len(sizes) == 0 {
+		return fmt.Errorf("expt: empty size sweep")
+	}
+	fmt.Fprintf(w, "# scale study: m=%d eps=%d g=%.1f graphs/point=%d seed=%d\n", m, eps, gran, graphs, seed)
+	fmt.Fprintln(w, "v\tpolicy\talgo\tlatency\treplicas\tmessages")
+	policies := []timeline.Policy{timeline.Append, timeline.Insertion}
+	cells := len(sizes) * len(policies)
+	units, err := runUnits(workers, cells*graphs, func(u int) (scaleUnit, error) {
+		cell, gi := u/graphs, u%graphs
+		v, pol := sizes[cell/len(policies)], policies[cell%len(policies)]
+		rng := rand.New(rand.NewSource(unitSeed(seed, cell, gi)))
+		params := gen.DefaultParams
+		params.MinTasks, params.MaxTasks = v, v
+		graph := gen.RandomLayered(rng, params)
+		plat := platform.NewRandom(rng, m, 0.5, 1.0)
+		exec := platform.GenExecForGranularity(rng, graph, plat, gran, platform.DefaultHeterogeneity)
+		p := &sched.Problem{G: graph, Plat: plat, Exec: exec, Model: sched.OnePort, Policy: pol}
+		var out scaleUnit
+		for a := range scaleAlgos {
+			var s *sched.Schedule
+			var err error
+			start := time.Now()
+			switch a {
+			case 0:
+				s, err = heft.Schedule(p, rng)
+			case 1:
+				s, _, err = core.ScheduleOpts(p, eps, rng, core.Options{Greedy: true})
+			case 2:
+				s, err = ftsa.Schedule(p, eps, rng)
+			case 3:
+				s, err = ftbar.Schedule(p, eps, rng)
+			}
+			if err != nil {
+				return out, fmt.Errorf("scale v=%d %s %s: %w", v, pol, scaleAlgos[a], err)
+			}
+			out[a] = scaleMeas{
+				lat:  s.ScheduledLatency() / DefaultNorm,
+				reps: float64(s.ReplicaCount()),
+				msgs: float64(s.MessageCount()),
+				ns:   time.Since(start).Nanoseconds(),
+			}
+		}
+		return out, nil
+	})
+	if err != nil {
+		return err
+	}
+	for cell := 0; cell < cells; cell++ {
+		v, pol := sizes[cell/len(policies)], policies[cell%len(policies)]
+		var lat, reps, msgs [4]stats64
+		var ns [4]int64
+		for _, u := range units[cell*graphs : (cell+1)*graphs] {
+			for a := range scaleAlgos {
+				lat[a].add(u[a].lat)
+				reps[a].add(u[a].reps)
+				msgs[a].add(u[a].msgs)
+				ns[a] += u[a].ns
+			}
+		}
+		for a, name := range scaleAlgos {
+			fmt.Fprintf(w, "%d\t%s\t%s\t%.2f\t%.0f\t%.0f\n",
+				v, pol, name, lat[a].mean(), reps[a].mean(), msgs[a].mean())
+		}
+		if graphs > 0 {
+			fmt.Fprintf(timing, "# scale v=%d %s: sched time/graph", v, pol)
+			for a, name := range scaleAlgos {
+				fmt.Fprintf(timing, " %s %s", name,
+					time.Duration(ns[a]/int64(graphs)).Round(time.Microsecond))
+			}
+			fmt.Fprintln(timing)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,66 @@
+package expt
+
+import (
+	"bytes"
+	"io"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// RunScale's stdout stream must be a pure function of (sizes, graphs,
+// seed): identical for any worker count, with the machine-dependent
+// wall-clock lines diverted to the timing writer.
+func TestRunScaleDeterministicAcrossWorkers(t *testing.T) {
+	sizes := []int{20, 40}
+	var first []byte
+	for _, workers := range []int{1, 8} {
+		var buf bytes.Buffer
+		if err := RunScale(&buf, io.Discard, sizes, 2, 3, workers); err != nil {
+			t.Fatal(err)
+		}
+		if first == nil {
+			first = buf.Bytes()
+		} else if !bytes.Equal(first, buf.Bytes()) {
+			t.Fatalf("scale output differs between -workers 1 and 8:\n%s\nvs\n%s", first, buf.Bytes())
+		}
+	}
+	out := string(first)
+	// 2 sizes x 2 policies x 4 algorithms data rows + header comment +
+	// column header.
+	if got, want := strings.Count(out, "\n"), 2+2*2*4; got != want {
+		t.Fatalf("scale output has %d lines, want %d:\n%s", got, want, out)
+	}
+	for _, needle := range []string{"20\tappend\tHEFT", "40\tinsertion\tFTBAR"} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("scale output missing row %q:\n%s", needle, out)
+		}
+	}
+	// The fault-tolerant schedulers place at least eps+1 replicas per
+	// task; a quick sanity scan of the CAFT rows.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "\tCAFT\t") && strings.HasPrefix(line, "20\t") {
+			fields := strings.Split(line, "\t")
+			if len(fields) != 6 {
+				t.Fatalf("malformed row %q", line)
+			}
+			reps, err := strconv.ParseFloat(fields[4], 64)
+			if err != nil || reps < 40 { // (eps+1) replicas of 20 tasks
+				t.Errorf("CAFT replica count %q below (eps+1)*v", fields[4])
+			}
+		}
+	}
+	if err := RunScale(io.Discard, io.Discard, nil, 1, 1, 1); err == nil {
+		t.Error("empty size sweep accepted")
+	}
+	if err := RunScale(io.Discard, io.Discard, sizes, -1, 1, 1); err == nil {
+		t.Error("negative graph count accepted")
+	}
+	var timing bytes.Buffer
+	if err := RunScale(io.Discard, &timing, []int{15}, 1, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(timing.String(), "sched time/graph") {
+		t.Errorf("timing stream missing wall-clock line: %q", timing.String())
+	}
+}

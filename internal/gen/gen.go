@@ -129,8 +129,12 @@ func Chain(n int, volume float64) *dag.DAG {
 
 // RandomOutForest returns a random forest of out-trees: every task has
 // in-degree at most one (|Γ−(t)| ≤ 1), the family covered by
-// Proposition 5.1. roots trees are grown over n total tasks.
-func RandomOutForest(rng *rand.Rand, n, roots int, minVol, maxVol float64) *dag.DAG {
+// Proposition 5.1. roots trees are grown over n total tasks; each
+// non-root task picks its parent uniformly among the earlier tasks
+// whose out-degree is still below maxDeg (maxDeg <= 0 means unbounded,
+// reproducing the historical uniform-attachment behavior draw for
+// draw). Edge volumes are uniform in [minVol, maxVol].
+func RandomOutForest(rng *rand.Rand, n, roots, maxDeg int, minVol, maxVol float64) *dag.DAG {
 	if roots < 1 {
 		roots = 1
 	}
@@ -138,8 +142,25 @@ func RandomOutForest(rng *rand.Rand, n, roots int, minVol, maxVol float64) *dag.
 		roots = n
 	}
 	g := dag.New(n)
+	outdeg := make([]int, n)
+	var eligible []int
 	for t := roots; t < n; t++ {
-		parent := rng.Intn(t)
+		var parent int
+		if maxDeg <= 0 {
+			parent = rng.Intn(t)
+		} else {
+			// The first t tasks consumed t-roots parent slots out of a
+			// capacity of t*maxDeg >= t, so some task always has spare
+			// out-degree and eligible is never empty.
+			eligible = eligible[:0]
+			for c := 0; c < t; c++ {
+				if outdeg[c] < maxDeg {
+					eligible = append(eligible, c)
+				}
+			}
+			parent = eligible[rng.Intn(len(eligible))]
+		}
+		outdeg[parent]++
 		g.AddEdge(dag.TaskID(parent), dag.TaskID(t), minVol+rng.Float64()*(maxVol-minVol))
 	}
 	return g

@@ -100,7 +100,7 @@ func TestRandomOutForestInDegreeAtMostOne(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		n := 2 + rng.Intn(60)
 		roots := 1 + rng.Intn(3)
-		g := RandomOutForest(rng, n, roots, 50, 150)
+		g := RandomOutForest(rng, n, roots, 0, 50, 150)
 		if g.Validate() != nil {
 			return false
 		}

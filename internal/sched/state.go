@@ -3,7 +3,6 @@ package sched
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"caft/internal/dag"
 	"caft/internal/timeline"
@@ -16,35 +15,82 @@ import (
 // PlaceReplica.
 //
 // Timelines are stored in one flat slice: [0,m) compute, [m,2m) send
-// ports, [2m,3m) receive ports, [3m,3m+L) links. Probes under the
-// Append policy run on a lightweight overlay of per-timeline ready
-// times (a timeline's whole state under Append is its ready time),
-// which avoids cloning interval lists in the schedulers' inner loops;
-// under the Insertion policy probes fall back to full clones.
+// ports, [2m,3m) receive ports, [3m,3m+L) links.
+//
+// Probes are transactional: ProbeReplica (and the multi-step Speculate)
+// run the real placement code on the real state while a journal records
+// every timeline reservation, replica/communication record and sequence
+// number, and the journal is rolled back before returning — no state is
+// cloned. Under the Append policy single-shot probes take an even
+// cheaper special case: a timeline's whole state under Append is its
+// ready time, so the probe runs on a flat overlay of 3m+L ready times.
+// The pre-journal reference path, which deep-clones the state for every
+// probe, is kept behind Problem.Probe = CloneProbe for equivalence
+// testing; both paths produce bit-identical schedules.
 type State struct {
 	P     *Problem
 	net   Network
-	m     int
+	// clique is set when net is the dense Clique network, whose
+	// Route allocates a fresh one-link slice per call; commResources
+	// computes that link inline instead, keeping probes allocation-free.
+	clique bool
+	m      int
 	tls   []timeline.Timeline
 	Reps  [][]Replica
 	Comms []Comm
 	seq   int32
 
-	// probe overlay (Append policy only)
-	probe bool
-	ready []float64
+	// Append-policy probe overlay: earliest/reserve consult ready[id]
+	// instead of the (shared, untouched) timelines.
+	overlay bool
+	ready   []float64
+	// noRecord marks throwaway probe states (the overlay and CloneProbe
+	// clones): placements on them are not recorded in Reps/Comms.
+	noRecord bool
+
+	// Speculation journal (see Speculate): while spec > 0, reserve logs
+	// every timeline reservation into tlog and PlaceReplica logs every
+	// Reps append into rlog; rollback undoes both in reverse and
+	// truncates Comms.
+	spec int
+	tlog []tlUndo
+	rlog []dag.TaskID
+
+	// Reusable scratch, never shared between states. probeScratch is the
+	// lazily built overlay state reused by Append-policy probes.
+	probeScratch *State
+	hosting      []bool
+	arrival      []float64
+	pending      []pendingComm
+	commIDs      []int
+}
+
+// tlUndo is one journaled timeline reservation: enough to UndoAdd it.
+type tlUndo struct {
+	id      int
+	start   float64
+	prevMax float64
+	owner   int32
+}
+
+// probeMark captures the journal position a rollback returns to.
+type probeMark struct {
+	tlog, rlog, comms int
+	seq               int32
 }
 
 // NewState returns an empty state for the problem.
 func NewState(p *Problem) *State {
 	m := p.Plat.M
 	net := p.Network()
+	_, clique := net.(Clique)
 	return &State{
-		P:    p,
-		net:  net,
-		m:    m,
-		tls:  make([]timeline.Timeline, 3*m+net.NumLinks()),
-		Reps: make([][]Replica, p.G.NumTasks()),
+		P:      p,
+		net:    net,
+		clique: clique,
+		m:      m,
+		tls:    make([]timeline.Timeline, 3*m+net.NumLinks()),
+		Reps:   make([][]Replica, p.G.NumTasks()),
 	}
 }
 
@@ -53,9 +99,10 @@ func (st *State) sendID(proc int) int    { return st.m + proc }
 func (st *State) recvID(proc int) int    { return 2*st.m + proc }
 func (st *State) linkID(l int) int       { return 3*st.m + l }
 
-// Clone deep-copies the state.
+// Clone deep-copies the state. Scratch buffers and the speculation
+// journal are not carried over: the clone starts with a clean journal.
 func (st *State) Clone() *State {
-	c := &State{P: st.P, net: st.net, m: st.m, seq: st.seq}
+	c := &State{P: st.P, net: st.net, clique: st.clique, m: st.m, seq: st.seq}
 	c.tls = make([]timeline.Timeline, len(st.tls))
 	for i := range st.tls {
 		c.tls[i] = *st.tls[i].Clone()
@@ -65,42 +112,80 @@ func (st *State) Clone() *State {
 		c.Reps[t] = append([]Replica(nil), st.Reps[t]...)
 	}
 	c.Comms = append([]Comm(nil), st.Comms...)
-	if st.probe {
-		c.probe = true
+	if st.overlay {
+		c.overlay, c.noRecord = true, st.noRecord
 		c.ready = append([]float64(nil), st.ready...)
 	}
 	return c
 }
 
-// cloneForProbe returns a state suitable for what-if placement: cheap
-// ready-time overlay under Append, full clone under Insertion. The
-// returned state shares Reps/Comms storage read-only; placements on it
-// are not recorded.
-func (st *State) cloneForProbe() *State {
-	if st.P.Policy == timeline.Append {
-		ready := make([]float64, len(st.tls))
-		if st.probe {
-			copy(ready, st.ready)
-		} else {
-			for i := range st.tls {
-				ready[i] = st.tls[i].Ready()
-			}
-		}
-		return &State{
-			P: st.P, net: st.net, m: st.m, tls: st.tls,
-			Reps: st.Reps, seq: st.seq,
-			probe: true, ready: ready,
+// overlayForProbe returns the reusable Append-policy probe overlay: a
+// state sharing this one's timelines and records read-only, with
+// earliest/reserve redirected to a private copy of the ready times.
+func (st *State) overlayForProbe() *State {
+	ps := st.probeScratch
+	if ps == nil {
+		ps = &State{overlay: true, noRecord: true, ready: make([]float64, len(st.tls))}
+		st.probeScratch = ps
+	}
+	ps.P, ps.net, ps.clique, ps.m, ps.tls, ps.Reps, ps.seq = st.P, st.net, st.clique, st.m, st.tls, st.Reps, st.seq
+	if st.overlay {
+		copy(ps.ready, st.ready)
+	} else {
+		for i := range st.tls {
+			ps.ready[i] = st.tls[i].Ready()
 		}
 	}
-	c := st.Clone()
-	c.probe = true
-	return c
+	return ps
+}
+
+// begin opens a speculation scope and returns its rollback mark.
+func (st *State) begin() probeMark {
+	st.spec++
+	return probeMark{tlog: len(st.tlog), rlog: len(st.rlog), comms: len(st.Comms), seq: st.seq}
+}
+
+// rollback undoes everything journaled since mark: timeline
+// reservations in reverse order (restoring each timeline's ready time),
+// replica records, communication records and the sequence counter.
+func (st *State) rollback(m probeMark) {
+	for i := len(st.tlog) - 1; i >= m.tlog; i-- {
+		u := st.tlog[i]
+		st.tls[u.id].UndoAdd(u.start, u.owner, u.prevMax)
+	}
+	st.tlog = st.tlog[:m.tlog]
+	for i := len(st.rlog) - 1; i >= m.rlog; i-- {
+		t := st.rlog[i]
+		st.Reps[t] = st.Reps[t][:len(st.Reps[t])-1]
+	}
+	st.rlog = st.rlog[:m.rlog]
+	st.Comms = st.Comms[:m.comms]
+	st.seq = m.seq
+	st.spec--
+}
+
+// Speculate runs fn inside a speculative transaction on the real state:
+// placements made by fn are fully visible to later placements within
+// the same fn — including their Reps and Comms records, so multi-step
+// what-ifs (place a duplicate, then place the replica that benefits)
+// compose — and every effect is rolled back before Speculate returns,
+// whether fn succeeds or fails. fn's error is returned verbatim.
+// Speculations nest. It must not be called on probe-overlay states
+// (which external callers never observe).
+func (st *State) Speculate(fn func() error) error {
+	if st.overlay {
+		panic("sched: Speculate on a probe overlay")
+	}
+	m := st.begin()
+	err := fn()
+	st.rollback(m)
+	return err
 }
 
 // earliest returns the earliest start >= ready for a reservation of dur
 // on timeline id.
 func (st *State) earliest(id int, ready, dur float64) float64 {
-	if st.probe && st.ready != nil {
+	if st.overlay {
 		if r := st.ready[id]; r > ready {
 			return r
 		}
@@ -109,13 +194,17 @@ func (st *State) earliest(id int, ready, dur float64) float64 {
 	return st.tls[id].EarliestSlot(ready, dur, st.P.Policy)
 }
 
-// reserve books [start, start+dur) on timeline id.
+// reserve books [start, start+dur) on timeline id, journaling the
+// reservation when a speculation scope is open.
 func (st *State) reserve(id int, start, dur float64, owner int32) {
-	if st.probe && st.ready != nil {
+	if st.overlay {
 		if end := start + dur; end > st.ready[id] {
 			st.ready[id] = end
 		}
 		return
+	}
+	if st.spec > 0 {
+		st.tlog = append(st.tlog, tlUndo{id: id, start: start, prevMax: st.tls[id].Ready(), owner: owner})
 	}
 	st.tls[id].MustAdd(start, dur, owner)
 }
@@ -130,13 +219,21 @@ func (st *State) Snapshot() *Schedule {
 	return s
 }
 
-// ProcsOf returns the set of processors hosting a replica of t.
-func (st *State) ProcsOf(t dag.TaskID) map[int]bool {
-	out := map[int]bool{}
-	for _, r := range st.Reps[t] {
-		out[r.Proc] = true
+// ProcsOf returns a bitset, indexed by processor, of the processors
+// hosting a replica of t. The returned slice is scratch owned by the
+// state: it is valid until the next ProcsOf call and must not be
+// retained.
+func (st *State) ProcsOf(t dag.TaskID) []bool {
+	if st.hosting == nil {
+		st.hosting = make([]bool, st.m)
 	}
-	return out
+	for i := range st.hosting {
+		st.hosting[i] = false
+	}
+	for _, r := range st.Reps[t] {
+		st.hosting[r.Proc] = true
+	}
+	return st.hosting
 }
 
 // SourceSet names, for one predecessor edge of the task being placed,
@@ -190,11 +287,17 @@ func (st *State) commonSlot(ready, dur float64, ids []int) float64 {
 }
 
 // commResources returns the timeline IDs a transfer src->dst occupies.
+// The returned slice is scratch reused by the next call.
 func (st *State) commResources(src, dst int) []int {
-	ids := []int{st.sendID(src), st.recvID(dst)}
-	for _, l := range st.net.Route(src, dst) {
-		ids = append(ids, st.linkID(l))
+	ids := append(st.commIDs[:0], st.sendID(src), st.recvID(dst))
+	if st.clique {
+		ids = append(ids, st.linkID(src*st.m+dst))
+	} else {
+		for _, l := range st.net.Route(src, dst) {
+			ids = append(ids, st.linkID(l))
+		}
 	}
+	st.commIDs = ids
 	return ids
 }
 
@@ -215,8 +318,8 @@ func (st *State) ProbeComm(src, dst int, readyAt, volume float64) (start, finish
 }
 
 // placeComm reserves the transfer and records it (recording is skipped
-// in probe mode). The caller passes the source replica and destination
-// task/copy for bookkeeping.
+// on probe-overlay and clone-probe states). The caller passes the source
+// replica and destination task/copy for bookkeeping.
 func (st *State) placeComm(srcRep Replica, to dag.TaskID, dstCopy, dst int, volume float64) Comm {
 	st.seq++
 	c := Comm{
@@ -242,10 +345,17 @@ func (st *State) placeComm(srcRep Replica, to dag.TaskID, dstCopy, dst int, volu
 			st.reserve(id, c.Start, c.Dur, c.Seq)
 		}
 	}
-	if !st.probe {
+	if !st.noRecord {
 		st.Comms = append(st.Comms, c)
 	}
 	return c
+}
+
+// pendingComm is one tentative remote transfer of a PlaceReplica call.
+type pendingComm struct {
+	setIdx    int
+	src       Replica
+	tentative float64
 }
 
 // PlaceReplica schedules copy `copy` of task t on processor proc,
@@ -272,19 +382,15 @@ func (st *State) PlaceReplica(t dag.TaskID, copy, proc int, sources []SourceSet)
 			return Replica{}, fmt.Errorf("sched: task %d already has a replica on P%d", t, proc)
 		}
 	}
-	type pendingComm struct {
-		setIdx    int
-		src       Replica
-		tentative float64
-	}
-	var pending []pendingComm
+	pending := st.pending[:0]
 	// arrival[i] is the earliest availability of predecessor i's data.
-	arrival := make([]float64, len(sources))
-	for i := range arrival {
-		arrival[i] = math.Inf(1)
+	arrival := st.arrival[:0]
+	for range sources {
+		arrival = append(arrival, math.Inf(1))
 	}
 	for i, set := range sources {
 		if len(set.Sources) == 0 {
+			st.pending, st.arrival = pending, arrival
 			return Replica{}, fmt.Errorf("sched: empty source set for predecessor %d of task %d", set.Pred, t)
 		}
 		// Co-located source? Use the earliest-finishing one, free.
@@ -310,37 +416,63 @@ func (st *State) PlaceReplica(t dag.TaskID, copy, proc int, sources []SourceSet)
 			pending = append(pending, pendingComm{setIdx: i, src: srcRep, tentative: fin})
 		}
 	}
-	// Serialize transfers in non-decreasing tentative finish order
-	// (deterministic tie break on order of appearance).
-	sort.SliceStable(pending, func(i, j int) bool { return pending[i].tentative < pending[j].tentative })
+	// Serialize transfers in non-decreasing tentative finish order. The
+	// insertion sort is stable (deterministic tie break on order of
+	// appearance, as before) and allocation-free.
+	for i := 1; i < len(pending); i++ {
+		for j := i; j > 0 && pending[j].tentative < pending[j-1].tentative; j-- {
+			pending[j], pending[j-1] = pending[j-1], pending[j]
+		}
+	}
 	for _, pc := range pending {
 		c := st.placeComm(pc.src, t, copy, proc, sources[pc.setIdx].Volume)
 		if c.Finish < arrival[pc.setIdx] {
 			arrival[pc.setIdx] = c.Finish
 		}
 	}
+	st.pending = pending
 	ready := 0.0
 	for i := range sources {
 		if math.IsInf(arrival[i], 1) {
+			st.arrival = arrival
 			return Replica{}, fmt.Errorf("sched: no input arrived for predecessor %d of task %d", sources[i].Pred, t)
 		}
 		if arrival[i] > ready {
 			ready = arrival[i]
 		}
 	}
+	st.arrival = arrival
 	exec := st.P.Exec[t][proc]
 	start := st.earliest(st.computeID(proc), ready, exec)
 	st.seq++
 	rep := Replica{Task: t, Copy: copy, Proc: proc, Start: start, Finish: start + exec, Seq: st.seq}
 	st.reserve(st.computeID(proc), start, exec, rep.Seq)
-	if !st.probe {
+	if !st.noRecord {
 		st.Reps[t] = append(st.Reps[t], rep)
+		if st.spec > 0 {
+			st.rlog = append(st.rlog, t)
+		}
 	}
 	return rep, nil
 }
 
-// ProbeReplica simulates PlaceReplica without mutating the state and
-// returns the resulting replica.
+// ProbeReplica simulates PlaceReplica without any lasting mutation of
+// the state and returns the resulting replica. Under the default
+// SpeculativeProbe mode the placement runs journaled on the real state
+// and is rolled back (with the Append-policy ready-time overlay as the
+// cheap special case); under CloneProbe it runs on a deep clone — the
+// reference implementation the speculative path is tested against.
 func (st *State) ProbeReplica(t dag.TaskID, copy, proc int, sources []SourceSet) (Replica, error) {
-	return st.cloneForProbe().PlaceReplica(t, copy, proc, sources)
+	if st.P.Probe == CloneProbe && !st.overlay {
+		c := st.Clone()
+		c.noRecord = true
+		return c.PlaceReplica(t, copy, proc, sources)
+	}
+	if st.P.Policy == timeline.Append || st.overlay {
+		return st.overlayForProbe().PlaceReplica(t, copy, proc, sources)
+	}
+	m := st.begin()
+	rep, err := st.PlaceReplica(t, copy, proc, sources)
+	st.rollback(m)
+	return rep, err
 }

@@ -14,6 +14,17 @@
 //     reservations if the gap is long enough (HEFT-style insertion-based
 //     policy).
 //
+// Alongside the interval list the timeline maintains a gap index: the
+// sorted list of maximal free intervals between positive-length
+// reservations. EarliestSlot under the Insertion policy binary-searches
+// that index instead of scanning the full interval list, and the index
+// is kept incrementally up to date by Add, Remove and UndoAdd.
+//
+// UndoAdd is the rollback half of a journaled reservation: callers that
+// probe speculatively record (start, owner, previous ready time) for
+// every Add and undo them in reverse order, restoring the timeline —
+// intervals, ready time and gap index — to its exact prior state.
+//
 // The zero value of Timeline is an empty, ready-to-use timeline.
 package timeline
 
@@ -51,10 +62,25 @@ type Interval struct {
 	Owner      int32
 }
 
+// gap is a maximal free interval [start, end) between two consecutive
+// positive-length reservations (or before the first one, starting at 0).
+// Free time after the last positive reservation is represented by posEnd,
+// not by a gap.
+type gap struct {
+	start, end float64
+}
+
 // Timeline is a sorted set of non-overlapping busy intervals.
 type Timeline struct {
 	ivs    []Interval
 	maxEnd float64
+	// gap index: gaps are sorted and disjoint (both starts and ends are
+	// strictly increasing, since positive reservations are disjoint);
+	// posEnd is the end of the last positive-length reservation. The
+	// index ignores zero-length markers, exactly as the Insertion scan
+	// does.
+	gaps   []gap
+	posEnd float64
 }
 
 // Len returns the number of reservations.
@@ -84,22 +110,25 @@ func (tl *Timeline) EarliestSlot(ready, dur float64, pol Policy) float64 {
 		}
 		return ready
 	}
-	// Insertion: scan the gaps between positive-length intervals in
-	// start order. Zero-length intervals are ordering markers and occupy
-	// no time, so they neither close gaps nor push the candidate start.
-	// (Ends are not monotone once markers interleave, so a binary search
-	// on End would be unsound; timelines are small, a scan is fine.)
-	start := ready
-	for i := 0; i < len(tl.ivs); i++ {
-		if tl.ivs[i].End == tl.ivs[i].Start || tl.ivs[i].End <= start {
-			continue
+	// Insertion: gap ends are strictly increasing, so binary-search the
+	// first gap that ends after ready and scan from there. Zero-length
+	// reservations are ordering markers, occupy no time and are absent
+	// from the index, so they neither close gaps nor push the candidate
+	// start.
+	i := sort.Search(len(tl.gaps), func(i int) bool { return tl.gaps[i].end > ready })
+	for ; i < len(tl.gaps); i++ {
+		s := tl.gaps[i].start
+		if ready > s {
+			s = ready
 		}
-		if start+dur <= tl.ivs[i].Start {
-			return start
+		if s+dur <= tl.gaps[i].end {
+			return s
 		}
-		start = tl.ivs[i].End
 	}
-	return start
+	if ready > tl.posEnd {
+		return ready
+	}
+	return tl.posEnd
 }
 
 // Add reserves [start, start+dur) for owner. It returns an error if the
@@ -136,7 +165,103 @@ func (tl *Timeline) Add(start, dur float64, owner int32) error {
 	if end > tl.maxEnd {
 		tl.maxEnd = end
 	}
+	if dur > 0 {
+		tl.gapsOnAdd(start, end)
+	}
 	return nil
+}
+
+// gapsOnAdd carves the positive reservation [start, end) out of the gap
+// index. The reservation is known not to overlap any positive interval.
+func (tl *Timeline) gapsOnAdd(start, end float64) {
+	if start >= tl.posEnd {
+		// Tail region: a new gap opens between the previous last positive
+		// end and the reservation. Its end exceeds every indexed gap's,
+		// so appending keeps the index sorted.
+		if start > tl.posEnd {
+			tl.gaps = append(tl.gaps, gap{tl.posEnd, start})
+		}
+		tl.posEnd = end
+		return
+	}
+	// Interior: the reservation lies inside exactly one gap; split it.
+	i := sort.Search(len(tl.gaps), func(i int) bool { return tl.gaps[i].end > start })
+	if i >= len(tl.gaps) || tl.gaps[i].start > start || tl.gaps[i].end < end {
+		panic(fmt.Sprintf("timeline: gap index lost [%v,%v)", start, end))
+	}
+	g := tl.gaps[i]
+	left, right := gap{g.start, start}, gap{end, g.end}
+	switch {
+	case left.start < left.end && right.start < right.end:
+		tl.gaps = append(tl.gaps, gap{})
+		copy(tl.gaps[i+1:], tl.gaps[i:])
+		tl.gaps[i], tl.gaps[i+1] = left, right
+	case left.start < left.end:
+		tl.gaps[i] = left
+	case right.start < right.end:
+		tl.gaps[i] = right
+	default:
+		tl.gaps = append(tl.gaps[:i], tl.gaps[i+1:]...)
+	}
+}
+
+// gapsOnRemove re-merges the free space exposed by deleting the positive
+// reservation at index i of the interval list (not yet spliced out).
+func (tl *Timeline) gapsOnRemove(i int) {
+	iv := tl.ivs[i]
+	// Nearest positive neighbors; zero-length markers in between are
+	// transparent to the index.
+	prevEnd := 0.0
+	for j := i - 1; j >= 0; j-- {
+		if tl.ivs[j].End > tl.ivs[j].Start {
+			prevEnd = tl.ivs[j].End
+			break
+		}
+	}
+	hasNext := false
+	for j := i + 1; j < len(tl.ivs); j++ {
+		if tl.ivs[j].End > tl.ivs[j].Start {
+			hasNext = true
+			break
+		}
+	}
+	if !hasNext {
+		// iv was the last positive reservation: the gap before it (if
+		// any) and the reservation itself dissolve into the tail.
+		if n := len(tl.gaps); n > 0 && tl.gaps[n-1].end == iv.Start {
+			tl.gaps = tl.gaps[:n-1]
+		}
+		tl.posEnd = prevEnd
+		return
+	}
+	merged := gap{iv.Start, iv.End}
+	j := sort.Search(len(tl.gaps), func(j int) bool { return tl.gaps[j].end >= iv.Start })
+	lo, hi := j, j // gaps[lo:hi] will be replaced by merged
+	if j < len(tl.gaps) && tl.gaps[j].end == iv.Start {
+		merged.start = tl.gaps[j].start
+		hi = j + 1
+	}
+	if hi < len(tl.gaps) && tl.gaps[hi].start == iv.End {
+		merged.end = tl.gaps[hi].end
+		hi++
+	}
+	if lo == hi {
+		tl.gaps = append(tl.gaps, gap{})
+		copy(tl.gaps[lo+1:], tl.gaps[lo:])
+		tl.gaps[lo] = merged
+	} else {
+		tl.gaps[lo] = merged
+		tl.gaps = append(tl.gaps[:lo+1], tl.gaps[hi:]...)
+	}
+}
+
+// deleteAt removes the reservation at index i, maintaining the gap
+// index. The caller fixes maxEnd.
+func (tl *Timeline) deleteAt(i int) {
+	if tl.ivs[i].End > tl.ivs[i].Start {
+		tl.gapsOnRemove(i)
+	}
+	tl.ivs = append(tl.ivs[:i], tl.ivs[i+1:]...)
 }
 
 // MustAdd is Add that panics on overlap; used where feasibility was just
@@ -153,7 +278,7 @@ func (tl *Timeline) Remove(start float64, owner int32) bool {
 	i := sort.Search(len(tl.ivs), func(i int) bool { return tl.ivs[i].Start >= start })
 	for ; i < len(tl.ivs) && tl.ivs[i].Start == start; i++ {
 		if tl.ivs[i].Owner == owner {
-			tl.ivs = append(tl.ivs[:i], tl.ivs[i+1:]...)
+			tl.deleteAt(i)
 			tl.maxEnd = 0
 			for _, iv := range tl.ivs {
 				if iv.End > tl.maxEnd {
@@ -166,18 +291,43 @@ func (tl *Timeline) Remove(start float64, owner int32) bool {
 	return false
 }
 
+// UndoAdd rolls back a journaled Add: it removes the reservation
+// (start, owner) and restores the ready time to prevMax, the value
+// Ready() returned immediately before that Add. Journaled reservations
+// must be undone in reverse order of addition, which is what makes the
+// O(n) ready-time rescan of Remove unnecessary. It panics if no such
+// reservation exists — a rollback journal referencing a missing
+// reservation is state corruption, not a recoverable condition.
+func (tl *Timeline) UndoAdd(start float64, owner int32, prevMax float64) {
+	i := sort.Search(len(tl.ivs), func(i int) bool { return tl.ivs[i].Start >= start })
+	for ; i < len(tl.ivs) && tl.ivs[i].Start == start; i++ {
+		if tl.ivs[i].Owner == owner {
+			tl.deleteAt(i)
+			tl.maxEnd = prevMax
+			return
+		}
+	}
+	panic(fmt.Sprintf("timeline: UndoAdd of unknown reservation (%v, owner %d)", start, owner))
+}
+
 // Clone returns a deep copy.
 func (tl *Timeline) Clone() *Timeline {
-	c := &Timeline{ivs: make([]Interval, len(tl.ivs)), maxEnd: tl.maxEnd}
+	c := &Timeline{ivs: make([]Interval, len(tl.ivs)), maxEnd: tl.maxEnd, posEnd: tl.posEnd}
 	copy(c.ivs, tl.ivs)
+	if len(tl.gaps) > 0 {
+		c.gaps = make([]gap, len(tl.gaps))
+		copy(c.gaps, tl.gaps)
+	}
 	return c
 }
 
 // Validate checks ordering and non-overlap among positive-length
-// intervals (zero-length markers may sit anywhere).
+// intervals (zero-length markers may sit anywhere), and that the gap
+// index matches the interval list exactly.
 func (tl *Timeline) Validate() error {
 	prevEnd := 0.0
 	hasPrev := false
+	var wantGaps []gap
 	for i := range tl.ivs {
 		if tl.ivs[i].End == tl.ivs[i].Start {
 			continue
@@ -186,7 +336,22 @@ func (tl *Timeline) Validate() error {
 			return fmt.Errorf("timeline: interval %d [%v,%v) overlaps a predecessor ending at %v",
 				i, tl.ivs[i].Start, tl.ivs[i].End, prevEnd)
 		}
+		if tl.ivs[i].Start > prevEnd {
+			wantGaps = append(wantGaps, gap{prevEnd, tl.ivs[i].Start})
+		}
 		prevEnd, hasPrev = tl.ivs[i].End, true
+	}
+	if tl.posEnd != prevEnd {
+		return fmt.Errorf("timeline: gap index posEnd %v, want %v", tl.posEnd, prevEnd)
+	}
+	if len(wantGaps) != len(tl.gaps) {
+		return fmt.Errorf("timeline: gap index holds %d gaps, want %d", len(tl.gaps), len(wantGaps))
+	}
+	for i := range wantGaps {
+		if tl.gaps[i] != wantGaps[i] {
+			return fmt.Errorf("timeline: gap %d is [%v,%v), want [%v,%v)",
+				i, tl.gaps[i].start, tl.gaps[i].end, wantGaps[i].start, wantGaps[i].end)
+		}
 	}
 	return nil
 }

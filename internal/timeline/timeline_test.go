@@ -187,6 +187,124 @@ func TestQuickReservationsStayValid(t *testing.T) {
 	}
 }
 
+// referenceEarliestInsertion is the pre-gap-index Insertion scan over
+// the full interval list, kept as the oracle for the indexed search.
+func referenceEarliestInsertion(tl *Timeline, ready, dur float64) float64 {
+	start := ready
+	for _, iv := range tl.Intervals() {
+		if iv.End == iv.Start || iv.End <= start {
+			continue
+		}
+		if start+dur <= iv.Start {
+			return start
+		}
+		start = iv.End
+	}
+	return start
+}
+
+// randomTimeline grows a timeline with a mix of feasible reservations
+// and zero-length markers.
+func randomTimeline(rng *rand.Rand, n int) *Timeline {
+	var tl Timeline
+	for i := 0; i < n; i++ {
+		ready := rng.Float64() * 80
+		dur := rng.Float64() * 6
+		if rng.Intn(5) == 0 {
+			dur = 0
+		}
+		pol := Policy(rng.Intn(2))
+		tl.MustAdd(tl.EarliestSlot(ready, dur, pol), dur, int32(i))
+	}
+	return &tl
+}
+
+// Property: the gap-indexed Insertion search returns exactly what the
+// full interval scan returns, on timelines that mix policies and
+// zero-length markers.
+func TestQuickGapIndexMatchesScan(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tl := randomTimeline(rng, 40)
+		if err := tl.Validate(); err != nil {
+			t.Log(err)
+			return false
+		}
+		for i := 0; i < 40; i++ {
+			ready := rng.Float64() * 120
+			dur := rng.Float64() * 10
+			if got, want := tl.EarliestSlot(ready, dur, Insertion), referenceEarliestInsertion(tl, ready, dur); got != want {
+				t.Logf("EarliestSlot(%v,%v) = %v, reference scan %v", ready, dur, got, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a journaled batch of Adds followed by UndoAdds in reverse
+// order restores the timeline bit for bit — intervals, ready time and
+// gap index.
+func TestQuickUndoAddRestoresExactly(t *testing.T) {
+	type entry struct {
+		start, prevMax float64
+		owner          int32
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tl := randomTimeline(rng, 25)
+		before := tl.Clone()
+		var journal []entry
+		for i := 0; i < 15; i++ {
+			ready := rng.Float64() * 100
+			dur := rng.Float64() * 8
+			if rng.Intn(6) == 0 {
+				dur = 0
+			}
+			s := tl.EarliestSlot(ready, dur, Policy(rng.Intn(2)))
+			journal = append(journal, entry{start: s, prevMax: tl.Ready(), owner: int32(1000 + i)})
+			tl.MustAdd(s, dur, 1000+int32(i))
+		}
+		if err := tl.Validate(); err != nil {
+			t.Log(err)
+			return false
+		}
+		for i := len(journal) - 1; i >= 0; i-- {
+			tl.UndoAdd(journal[i].start, journal[i].owner, journal[i].prevMax)
+		}
+		if err := tl.Validate(); err != nil {
+			t.Log(err)
+			return false
+		}
+		if tl.Ready() != before.Ready() || tl.Len() != before.Len() {
+			return false
+		}
+		for i, iv := range tl.Intervals() {
+			if iv != before.Intervals()[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUndoAddUnknownPanics(t *testing.T) {
+	var tl Timeline
+	tl.MustAdd(0, 2, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("UndoAdd of a missing reservation did not panic")
+		}
+	}()
+	tl.UndoAdd(5, 9, 0)
+}
+
 // Property: insertion policy never yields a later slot than append.
 func TestQuickInsertionNoWorseThanAppend(t *testing.T) {
 	f := func(seed int64) bool {

@@ -1,0 +1,75 @@
+package caft
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"caft/internal/core"
+	"caft/internal/gen"
+	"caft/internal/platform"
+	"caft/internal/sched"
+	"caft/internal/sched/ftbar"
+	"caft/internal/sched/ftsa"
+	"caft/internal/sched/heft"
+	"caft/internal/timeline"
+)
+
+// TestSpeculativeProbeEquivalence is the acceptance pin of the
+// clone-free probe refactor: every scheduler, under both reservation
+// policies, must produce a schedule bit-identical to the one built with
+// the pre-refactor deep-clone probe path (sched.CloneProbe). Identical
+// tie-breaking streams are guaranteed by seeding each run separately.
+func TestSpeculativeProbeEquivalence(t *testing.T) {
+	schedulers := []struct {
+		name string
+		run  func(p *sched.Problem) (*sched.Schedule, error)
+	}{
+		{"heft", func(p *sched.Problem) (*sched.Schedule, error) {
+			return heft.Schedule(p, rand.New(rand.NewSource(7)))
+		}},
+		{"ftsa", func(p *sched.Problem) (*sched.Schedule, error) {
+			return ftsa.Schedule(p, 2, rand.New(rand.NewSource(7)))
+		}},
+		{"ftbar", func(p *sched.Problem) (*sched.Schedule, error) {
+			return ftbar.Schedule(p, 2, rand.New(rand.NewSource(7)))
+		}},
+		{"caft", func(p *sched.Problem) (*sched.Schedule, error) {
+			return core.Schedule(p, 2, rand.New(rand.NewSource(7)))
+		}},
+		{"caft-batch", func(p *sched.Problem) (*sched.Schedule, error) {
+			return core.ScheduleBatch(p, 1, 4, rand.New(rand.NewSource(7)))
+		}},
+	}
+	for _, pol := range []timeline.Policy{timeline.Append, timeline.Insertion} {
+		for seed := int64(1); seed <= 3; seed++ {
+			rng := rand.New(rand.NewSource(seed))
+			params := gen.RandomParams{MinTasks: 30, MaxTasks: 40, MinDegree: 1, MaxDegree: 3, MinVolume: 50, MaxVolume: 150}
+			g := gen.RandomLayered(rng, params)
+			plat := platform.NewRandom(rng, 6, 0.5, 1.0)
+			exec := platform.GenExecForGranularity(rng, g, plat, 1.0, platform.DefaultHeterogeneity)
+			for _, s := range schedulers {
+				spec := sched.Problem{G: g, Plat: plat, Exec: exec, Model: sched.OnePort, Policy: pol, Probe: sched.SpeculativeProbe}
+				clone := spec
+				clone.Probe = sched.CloneProbe
+				got, err := s.run(&spec)
+				if err != nil {
+					t.Fatalf("%s/%v/seed%d speculative: %v", s.name, pol, seed, err)
+				}
+				want, err := s.run(&clone)
+				if err != nil {
+					t.Fatalf("%s/%v/seed%d clone: %v", s.name, pol, seed, err)
+				}
+				if !reflect.DeepEqual(got.Reps, want.Reps) {
+					t.Errorf("%s/%v/seed%d: replica placements differ between speculative and clone probes", s.name, pol, seed)
+				}
+				if !reflect.DeepEqual(got.Comms, want.Comms) {
+					t.Errorf("%s/%v/seed%d: communications differ between speculative and clone probes", s.name, pol, seed)
+				}
+				if err := got.Validate(); err != nil {
+					t.Errorf("%s/%v/seed%d: speculative schedule invalid: %v", s.name, pol, seed, err)
+				}
+			}
+		}
+	}
+}
