@@ -338,9 +338,9 @@ func BenchmarkSparseTopology(b *testing.B) {
 		net  sched.Network
 	}{
 		{"clique", nil},
-		{"hypercube", topology.Hypercube(3, 0.75)},
-		{"ring", topology.Ring(8, 0.75)},
-		{"mesh", topology.Mesh2D(2, 4, 0.75)},
+		{"hypercube", mustTopo(topology.Hypercube(3, 0.75))},
+		{"ring", mustTopo(topology.Ring(8, 0.75))},
+		{"mesh", mustTopo(topology.Mesh2D(2, 4, 0.75))},
 	}
 	for _, n := range nets {
 		b.Run(n.name, func(b *testing.B) {

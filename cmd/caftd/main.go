@@ -1,0 +1,90 @@
+// Command caftd is the CAFT scheduling daemon: a long-running HTTP/JSON
+// service that schedules task graphs on demand — any of the five
+// schedulers (heft, caft, caft-greedy, ftsa, ftbar), either reservation
+// policy, clique or sparse interconnects — and optionally returns
+// Monte-Carlo reliability estimates with each schedule.
+//
+// Responses are cached content-addressed and duplicate in-flight
+// requests are collapsed, so serving the same problem twice does no
+// scheduling work; see internal/service and DESIGN.md S6.
+//
+// Usage:
+//
+//	caftd [-addr :8080] [-workers 0] [-mc-workers 0] [-cache-max 65536]
+//
+// Endpoints:
+//
+//	POST /schedule   schedule a problem (JSON in/out)
+//	GET  /healthz    liveness
+//	GET  /statsz     cache hit rate, latency quantiles, in-flight count
+//
+// A quickstart request lives in testdata/quickstart.json:
+//
+//	curl -s -X POST --data-binary @cmd/caftd/testdata/quickstart.json \
+//	     http://localhost:8080/schedule
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"caft/internal/service"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		workers   = flag.Int("workers", 0, "scheduling worker pool size (0 = all cores); never affects response bytes")
+		mcWorkers = flag.Int("mc-workers", 0, "reliability Monte-Carlo batch workers (0 = all cores); never affects response bytes")
+		cacheMax  = flag.Int("cache-max", 65536, "max cached responses (0 = unbounded)")
+	)
+	flag.Parse()
+	if err := run(*addr, *workers, *mcWorkers, *cacheMax); err != nil {
+		fmt.Fprintln(os.Stderr, "caftd:", err)
+		os.Exit(1)
+	}
+}
+
+// run serves until SIGINT/SIGTERM, then drains in-flight requests.
+func run(addr string, workers, mcWorkers, cacheMax int) error {
+	if workers < 0 || mcWorkers < 0 {
+		return fmt.Errorf("worker counts must be non-negative")
+	}
+	if cacheMax < 0 {
+		return fmt.Errorf("-cache-max must be non-negative, got %d", cacheMax)
+	}
+	svc := service.New(service.Config{Workers: workers, MCWorkers: mcWorkers, CacheMax: cacheMax})
+	defer svc.Close()
+	srv := &http.Server{Addr: addr, Handler: service.NewHandler(svc)}
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "caftd: listening on %s\n", addr)
+		errc <- srv.ListenAndServe()
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-stop:
+		fmt.Fprintf(os.Stderr, "caftd: %s, shutting down\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			return err
+		}
+		if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	}
+}

@@ -1,0 +1,180 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"caft/internal/service"
+)
+
+// -update regenerates the golden files from the current engine (the
+// one shared golden-file convention; see EXPERIMENTS.md):
+//
+//	go test ./cmd/caftd -run Golden -update
+var update = flag.Bool("update", false, "rewrite the golden files from current output")
+
+func startServer(t *testing.T, cfg service.Config) *httptest.Server {
+	t.Helper()
+	svc := service.New(cfg)
+	srv := httptest.NewServer(service.NewHandler(svc))
+	t.Cleanup(func() { srv.Close(); svc.Close() })
+	return srv
+}
+
+func quickstartSpec(t *testing.T) []byte {
+	t.Helper()
+	spec, err := os.ReadFile(filepath.Join("testdata", "quickstart.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+func post(t *testing.T, url string, body []byte) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(url+"/schedule", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, buf.Bytes()
+}
+
+// TestGoldenQuickstartResponse pins the exact bytes served for the
+// quickstart spec — the same end-to-end determinism guarantee the
+// caftsim goldens pin for the figures. Responses for a fixed seed must
+// be byte-identical across runs and across -workers values, so the run
+// is repeated at two pool configurations and diffed before comparing
+// against the golden file.
+func TestGoldenQuickstartResponse(t *testing.T) {
+	spec := quickstartSpec(t)
+	var first []byte
+	for _, cfg := range []service.Config{
+		{Workers: 1, MCWorkers: 1},
+		{Workers: 8, MCWorkers: 4},
+	} {
+		srv := startServer(t, cfg)
+		status, body := post(t, srv.URL, spec)
+		if status != http.StatusOK {
+			t.Fatalf("status %d: %s", status, body)
+		}
+		// The cached second serve must also be byte-identical.
+		if _, again := post(t, srv.URL, spec); !bytes.Equal(body, again) {
+			t.Fatal("cache hit served different bytes than the compute")
+		}
+		if first == nil {
+			first = body
+		} else if !bytes.Equal(first, body) {
+			t.Fatalf("response differs between worker configs")
+		}
+	}
+	path := filepath.Join("testdata", "quickstart_response.json")
+	if *update {
+		if err := os.WriteFile(path, first, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(first, want) {
+		t.Fatalf("response drifted from %s;\nif intentional, regenerate with: go test ./cmd/caftd -run Golden -update\ngot:\n%s\nwant:\n%s",
+			path, first, want)
+	}
+}
+
+// TestConcurrentIdenticalRequestsCollapse is the end-to-end acceptance
+// test of the serving layer: N identical concurrent HTTP requests are
+// answered by exactly one scheduling run — observable via /statsz — and
+// all N responses are byte-identical.
+func TestConcurrentIdenticalRequestsCollapse(t *testing.T) {
+	srv := startServer(t, service.Config{Workers: 4})
+	spec := quickstartSpec(t)
+	const n = 24
+	responses := make([][]byte, n)
+	statuses := make([]int, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(srv.URL+"/schedule", "application/json", bytes.NewReader(spec))
+			if err != nil {
+				return
+			}
+			defer resp.Body.Close()
+			var buf bytes.Buffer
+			buf.ReadFrom(resp.Body)
+			statuses[i], responses[i] = resp.StatusCode, buf.Bytes()
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if statuses[i] != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, statuses[i])
+		}
+		if !bytes.Equal(responses[0], responses[i]) {
+			t.Fatal("responses differ across concurrent identical requests")
+		}
+	}
+	resp, err := http.Get(srv.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st service.StatsSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Misses != 1 {
+		t.Errorf("%d scheduling runs for %d identical requests, want 1", st.Misses, n)
+	}
+	if st.Hits != n-1 {
+		t.Errorf("%d cache hits, want %d", st.Hits, n-1)
+	}
+}
+
+// The quickstart response must carry the documented schema fields (the
+// CI smoke job greps for a subset of these).
+func TestQuickstartResponseSchema(t *testing.T) {
+	srv := startServer(t, service.Config{Workers: 2})
+	status, body := post(t, srv.URL, quickstartSpec(t))
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, body)
+	}
+	var resp service.Response
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Key == "" || resp.Alg != "caft" || resp.Latency <= 0 {
+		t.Errorf("schema fields wrong: key=%q alg=%q latency=%v", resp.Key, resp.Alg, resp.Latency)
+	}
+	if len(resp.Schedule.Replicas) == 0 || resp.Reliability == nil {
+		t.Error("schedule or reliability section missing")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run(":0", -1, 0, 0); err == nil {
+		t.Error("negative -workers accepted")
+	}
+	if err := run(":0", 0, -2, 0); err == nil {
+		t.Error("negative -mc-workers accepted")
+	}
+	if err := run(":0", 0, 0, -1); err == nil {
+		t.Error("negative -cache-max accepted")
+	}
+}

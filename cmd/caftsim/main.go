@@ -52,8 +52,16 @@ func main() {
 }
 
 // run dispatches one -figure invocation, writing all reproducible
-// output (everything but wall-clock timing) to w.
+// output (everything but wall-clock timing) to w. Flag values are
+// validated up front: nonsense like -graphs 0 used to fall through to
+// the engine and produce empty or degenerate TSV instead of an error.
 func run(w io.Writer, figure string, graphs int, seed int64, plotDir string, workers, vmax int) error {
+	if graphs < 1 {
+		return fmt.Errorf("-graphs must be positive, got %d", graphs)
+	}
+	if workers < 0 {
+		return fmt.Errorf("-workers must be non-negative (0 = all cores), got %d", workers)
+	}
 	switch figure {
 	case "all":
 		for n := 1; n <= 6; n++ {

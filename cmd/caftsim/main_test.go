@@ -9,10 +9,11 @@ import (
 	"testing"
 )
 
-// -update regenerates the golden files from the current engine:
+// -update regenerates the golden files from the current engine (the
+// one shared golden-file convention; see EXPERIMENTS.md):
 //
 //	go test ./cmd/caftsim -run Golden -update
-var update = flag.Bool("update", false, "rewrite golden TSV files")
+var update = flag.Bool("update", false, "rewrite the golden files from current output")
 
 func TestRunRejectsUnknownFigure(t *testing.T) {
 	for _, bad := range []string{"7", "0", "x", "1d", "abc"} {
@@ -20,9 +21,36 @@ func TestRunRejectsUnknownFigure(t *testing.T) {
 			t.Errorf("figure %q accepted", bad)
 		}
 	}
-	// A vmax below the smallest scale size leaves nothing to sweep.
-	if err := run(io.Discard, "scale", 1, 1, "", 1, 50); err == nil {
-		t.Error("scale with vmax below the smallest size accepted")
+}
+
+// Nonsense flag values must be rejected with a pointed message instead
+// of producing empty or degenerate TSV (the pre-fix behavior for
+// -graphs 0, negative -workers and an undershooting -vmax).
+func TestRunRejectsBadFlagValues(t *testing.T) {
+	cases := []struct {
+		name    string
+		figure  string
+		graphs  int
+		workers int
+		vmax    int
+		wantMsg string
+	}{
+		{"zero graphs", "1a", 0, 1, 3200, "-graphs must be positive, got 0"},
+		{"negative graphs", "1a", -3, 1, 3200, "-graphs must be positive, got -3"},
+		{"zero graphs special figure", "messages", 0, 1, 3200, "-graphs must be positive, got 0"},
+		{"negative workers", "1a", 1, -2, 3200, "-workers must be non-negative (0 = all cores), got -2"},
+		{"vmax below smallest size", "scale", 1, 1, 50, "-vmax 50 is below the smallest scale size 100"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := run(io.Discard, c.figure, c.graphs, 1, "", c.workers, c.vmax)
+			if err == nil {
+				t.Fatal("accepted")
+			}
+			if err.Error() != c.wantMsg {
+				t.Errorf("message %q, want %q", err, c.wantMsg)
+			}
+		})
 	}
 }
 

@@ -14,7 +14,6 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"math/rand"
 	"os"
 
 	"caft/internal/dag"
@@ -60,8 +59,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 	return nil
 }
 
-// generate validates the parameters of the selected family and builds
-// the graph.
+// generate validates the flag values of the selected family and builds
+// the graph through gen.Spec — the same declarative dispatch the caftd
+// scheduling service resolves from JSON, so both entry points produce
+// identical graphs for identical parameters. The flag-level checks stay
+// here for flag-specific error messages; gen.Spec.Validate re-checks
+// the same invariants with API wording.
 func generate(kind string, n, depth int, volume float64, seed int64, minT, maxT, roots, degree int) (*dag.DAG, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("-n must be positive, got %d", n)
@@ -72,21 +75,11 @@ func generate(kind string, n, depth int, volume float64, seed int64, minT, maxT,
 	if volume < 0 {
 		return nil, fmt.Errorf("-volume must be non-negative, got %v", volume)
 	}
-	rng := rand.New(rand.NewSource(seed))
 	switch kind {
 	case "random":
 		if minT < 1 || maxT < minT {
 			return nil, fmt.Errorf("bad task range [-min-tasks %d, -max-tasks %d]", minT, maxT)
 		}
-		params := gen.DefaultParams
-		params.MinTasks, params.MaxTasks = minT, maxT
-		return gen.RandomLayered(rng, params), nil
-	case "fork":
-		return gen.Fork(n, volume), nil
-	case "join":
-		return gen.Join(n, volume), nil
-	case "chain":
-		return gen.Chain(n, volume), nil
 	case "outforest":
 		if roots < 1 {
 			return nil, fmt.Errorf("-roots must be positive, got %d", roots)
@@ -94,16 +87,9 @@ func generate(kind string, n, depth int, volume float64, seed int64, minT, maxT,
 		if degree < 0 {
 			return nil, fmt.Errorf("-degree must be non-negative, got %d", degree)
 		}
-		return gen.RandomOutForest(rng, n, roots, degree, volume, volume), nil
-	case "diamond":
-		return gen.Diamond(n, depth, volume), nil
-	case "stencil":
-		return gen.Stencil(depth, n, volume), nil
-	case "montage":
-		return gen.Montage(n, volume), nil
-	case "fft":
-		return gen.FFT(n, volume), nil
-	default:
-		return nil, fmt.Errorf("unknown kind %q", kind)
 	}
+	return gen.Spec{
+		Kind: kind, N: n, Depth: depth, Volume: volume, Seed: seed,
+		MinTasks: minT, MaxTasks: maxT, Roots: roots, Degree: degree,
+	}.Build()
 }

@@ -12,10 +12,11 @@ import (
 	"caft/internal/gen"
 )
 
-// -update regenerates the golden Gantt chart:
+// -update regenerates the golden files from the current engine (the
+// one shared golden-file convention; see EXPERIMENTS.md):
 //
 //	go test ./cmd/schedviz -run Golden -update
-var update = flag.Bool("update", false, "rewrite the golden Gantt file")
+var update = flag.Bool("update", false, "rewrite the golden files from current output")
 
 // TestGoldenGantt pins the exact ASCII Gantt chart, port lanes and
 // crash-replay summary schedviz renders for a seeded deterministic run.

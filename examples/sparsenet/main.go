@@ -28,15 +28,23 @@ func main() {
 	plat := platform.New(m, 0.75)
 	exec := platform.GenExecForGranularity(rng, g, plat, 1.0, platform.DefaultHeterogeneity)
 
+	// The convenience constructors validate their sizes; these shapes
+	// are statically correct, so a failure here is a programming error.
+	mustTopo := func(g *topology.Graph, err error) *topology.Graph {
+		if err != nil {
+			log.Fatal(err)
+		}
+		return g
+	}
 	nets := []struct {
 		name string
 		net  sched.Network
 	}{
 		{"clique (paper's model)", nil},
-		{"hypercube(3)", topology.Hypercube(3, 0.75)},
-		{"mesh 2x4", topology.Mesh2D(2, 4, 0.75)},
-		{"star", topology.Star(m, 0.75)},
-		{"ring", topology.Ring(m, 0.75)},
+		{"hypercube(3)", mustTopo(topology.Hypercube(3, 0.75))},
+		{"mesh 2x4", mustTopo(topology.Mesh2D(2, 4, 0.75))},
+		{"star", mustTopo(topology.Star(m, 0.75))},
+		{"ring", mustTopo(topology.Ring(m, 0.75))},
 	}
 
 	fmt.Printf("stencil 6x6 on %d processors, eps=%d\n\n", m, eps)

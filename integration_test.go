@@ -19,6 +19,15 @@ import (
 	"caft/internal/topology"
 )
 
+// mustTopo unwraps a topology-constructor result for the statically
+// valid shapes used across the root test files.
+func mustTopo(g *topology.Graph, err error) *topology.Graph {
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
 // TestIntegrationMatrix runs the full pipeline — generate, schedule,
 // validate, replay, bound-check — across graph families, algorithms,
 // communication models and reservation policies.
@@ -94,10 +103,10 @@ func TestIntegrationMatrix(t *testing.T) {
 func TestIntegrationSparseMatrix(t *testing.T) {
 	rng := rand.New(rand.NewSource(21))
 	nets := map[string]sched.Network{
-		"ring":      topology.Ring(8, 0.75),
-		"star":      topology.Star(8, 0.75),
-		"torus":     topology.Torus2D(2, 4, 0.75),
-		"hypercube": topology.Hypercube(3, 0.75),
+		"ring":      mustTopo(topology.Ring(8, 0.75)),
+		"star":      mustTopo(topology.Star(8, 0.75)),
+		"torus":     mustTopo(topology.Torus2D(2, 4, 0.75)),
+		"hypercube": mustTopo(topology.Hypercube(3, 0.75)),
 	}
 	g := gen.RandomLayered(rng, gen.RandomParams{MinTasks: 25, MaxTasks: 30, MinDegree: 1, MaxDegree: 2, MinVolume: 20, MaxVolume: 60})
 	plat := platform.New(8, 0.75)

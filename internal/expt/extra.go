@@ -278,17 +278,27 @@ func RunSparse(w io.Writer, graphs int, seed int64, workers int) error {
 	}
 	fmt.Fprintf(w, "# sparse topologies: m=%d, eps=1, g=1.0, %d graphs per row, seed=%d\n", m, graphs, seed)
 	fmt.Fprintln(w, "topology\tdiameter\tlatency\tmessages\tlost1crashPct")
-	topos := []struct {
+	type topo struct {
 		name string
 		net  sched.Network
 		diam int
+	}
+	topos := []topo{{"clique", nil, 1}}
+	for _, tc := range []struct {
+		name  string
+		build func() (*topology.Graph, error)
 	}{
-		{"clique", nil, 1},
-		{"hypercube", topology.Hypercube(3, 0.75), topology.Hypercube(3, 0.75).Diameter()},
-		{"torus", topology.Torus2D(2, 4, 0.75), topology.Torus2D(2, 4, 0.75).Diameter()},
-		{"mesh", topology.Mesh2D(2, 4, 0.75), topology.Mesh2D(2, 4, 0.75).Diameter()},
-		{"star", topology.Star(m, 0.75), topology.Star(m, 0.75).Diameter()},
-		{"ring", topology.Ring(m, 0.75), topology.Ring(m, 0.75).Diameter()},
+		{"hypercube", func() (*topology.Graph, error) { return topology.Hypercube(3, 0.75) }},
+		{"torus", func() (*topology.Graph, error) { return topology.Torus2D(2, 4, 0.75) }},
+		{"mesh", func() (*topology.Graph, error) { return topology.Mesh2D(2, 4, 0.75) }},
+		{"star", func() (*topology.Graph, error) { return topology.Star(m, 0.75) }},
+		{"ring", func() (*topology.Graph, error) { return topology.Ring(m, 0.75) }},
+	} {
+		g, err := tc.build()
+		if err != nil {
+			return fmt.Errorf("expt: %s topology: %w", tc.name, err)
+		}
+		topos = append(topos, topo{tc.name, g, g.Diameter()})
 	}
 	type meas struct {
 		lat, msg          float64

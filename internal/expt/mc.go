@@ -1,0 +1,128 @@
+package expt
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"caft/internal/failure"
+	"caft/internal/sched"
+	"caft/internal/sim"
+)
+
+// This file is the reliability Monte-Carlo core shared by the
+// `caftsim -figure reliability` tables (RunReliability) and the caftd
+// scheduling service: crash-time scenarios sampled from a failure model
+// are replayed with timed fail-stop semantics and tallied into
+// unreliability (task-loss fraction) and expected surviving latency.
+
+// MCTally accumulates the outcome of replayed crash scenarios for one
+// schedule. LatSum is the sum of (normalized) latencies over the
+// surviving scenarios; ReplayErrors counts scenarios the engine failed
+// to evaluate, which are excluded from the estimates and never blamed
+// on the schedule.
+type MCTally struct {
+	LatSum       float64
+	Survived     int
+	Lost         int
+	ReplayErrors int
+}
+
+// add folds another tally into t.
+func (t *MCTally) add(o MCTally) {
+	t.LatSum += o.LatSum
+	t.Survived += o.Survived
+	t.Lost += o.Lost
+	t.ReplayErrors += o.ReplayErrors
+}
+
+// Draws returns the number of scenarios behind the estimates (the
+// engine-failed ones excluded).
+func (t MCTally) Draws() int { return t.Survived + t.Lost }
+
+// Unreliability returns the estimated probability of losing a task:
+// the fraction of evaluated scenarios in which the schedule lost one
+// (NaN when nothing was evaluated).
+func (t MCTally) Unreliability() float64 {
+	if t.Draws() == 0 {
+		return math.NaN()
+	}
+	return float64(t.Lost) / float64(t.Draws())
+}
+
+// MeanLatency returns the mean (normalized) latency over the surviving
+// scenarios, NaN when none survived.
+func (t MCTally) MeanLatency() float64 {
+	if t.Survived == 0 {
+		return math.NaN()
+	}
+	return t.LatSum / float64(t.Survived)
+}
+
+// ReplaySamples draws n crash-time scenarios from model and replays
+// every scenario against every replayer (common random numbers: one
+// draw scores all schedules, so per-draw contrasts share their noise),
+// folding outcomes into the matching tallies entry. Latencies are
+// divided by norm before summing. scratch, which may be nil, is the
+// reusable sample map. The rng stream layout is one Sample per draw —
+// fixed regardless of the number of replayers.
+func ReplaySamples(reps []*sim.Replayer, tallies []MCTally, model failure.Model, n int, norm float64, rng *rand.Rand, scratch map[int]float64) {
+	for draw := 0; draw < n; draw++ {
+		scratch = model.Sample(rng, scratch)
+		for a := range reps {
+			lat, err := reps[a].CrashLatencyAt(scratch)
+			switch {
+			case errors.Is(err, sim.ErrTaskLost) || math.IsInf(lat, 1):
+				tallies[a].Lost++
+			case err != nil:
+				tallies[a].ReplayErrors++
+			default:
+				tallies[a].Survived++
+				tallies[a].LatSum += lat / norm
+			}
+		}
+	}
+}
+
+// mcBatch is the number of scenarios per work unit of
+// EstimateReliability: large enough to amortize the per-batch Replayer,
+// small enough that modest sample counts still fan out.
+const mcBatch = 64
+
+// EstimateReliability estimates one schedule's unreliability and
+// expected surviving latency from `samples` crash scenarios, evaluated
+// in batches on the deterministic work-unit pool. Batch i draws from
+// its own PRNG seeded by unitSeed(seed, 0, i) and batches fold in a
+// fixed order, so the tally is a pure function of (schedule, model,
+// samples, seed) — identical for any worker count. The model must be
+// stateless across Sample calls (Exponential, Weibull, Rack are;
+// failure.Trace is not).
+func EstimateReliability(s *sched.Schedule, model failure.Model, samples int, seed int64, workers int) (MCTally, error) {
+	if samples < 0 {
+		return MCTally{}, fmt.Errorf("expt: negative sample count %d", samples)
+	}
+	nBatches := (samples + mcBatch - 1) / mcBatch
+	batches, err := runUnits(workers, nBatches, func(u int) (MCTally, error) {
+		rep, err := sim.NewReplayer(s)
+		if err != nil {
+			return MCTally{}, err
+		}
+		n := mcBatch
+		if u == nBatches-1 {
+			n = samples - u*mcBatch
+		}
+		rng := rand.New(rand.NewSource(unitSeed(seed, 0, u)))
+		var tally [1]MCTally
+		ReplaySamples([]*sim.Replayer{rep}, tally[:], model, n, 1, rng, nil)
+		return tally[0], nil
+	})
+	if err != nil {
+		return MCTally{}, err
+	}
+	var total MCTally
+	for _, b := range batches {
+		total.add(b)
+	}
+	return total, nil
+}

@@ -1,7 +1,6 @@
 package expt
 
 import (
-	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -73,11 +72,11 @@ var reliabilityMults = []float64{1, 2, 4, 8, 16, 32, 64}
 type reliabilityModel struct {
 	label string
 	mult  float64
-	build func(rng *rand.Rand, m int, base float64) failure.Model
+	build func(rng *rand.Rand, m int, base float64) (failure.Model, error)
 }
 
-func expModel(rng *rand.Rand, m int, base float64) failure.Model {
-	return &failure.Exponential{MTBF: failure.UniformMTBF(rng, m, 0.75*base, 1.25*base)}
+func expModel(rng *rand.Rand, m int, base float64) (failure.Model, error) {
+	return &failure.Exponential{MTBF: failure.UniformMTBF(rng, m, 0.75*base, 1.25*base)}, nil
 }
 
 // reliabilityModelBase is the per-processor base MTBF multiplier of the
@@ -94,35 +93,33 @@ const reliabilityModelBase = 8
 // promise: one rack failure kills half the platform at once.
 var reliabilityModels = []reliabilityModel{
 	{"exponential", reliabilityModelBase, expModel},
-	{"weibull-k0.7", reliabilityModelBase, func(rng *rand.Rand, m int, base float64) failure.Model {
-		return failure.WeibullWithMTBF(0.7, failure.UniformMTBF(rng, m, 0.75*base, 1.25*base))
+	{"weibull-k0.7", reliabilityModelBase, func(rng *rand.Rand, m int, base float64) (failure.Model, error) {
+		return failure.WeibullWithMTBF(0.7, failure.UniformMTBF(rng, m, 0.75*base, 1.25*base)), nil
 	}},
-	{"weibull-k2.0", reliabilityModelBase, func(rng *rand.Rand, m int, base float64) failure.Model {
-		return failure.WeibullWithMTBF(2.0, failure.UniformMTBF(rng, m, 0.75*base, 1.25*base))
+	{"weibull-k2.0", reliabilityModelBase, func(rng *rand.Rand, m int, base float64) (failure.Model, error) {
+		return failure.WeibullWithMTBF(2.0, failure.UniformMTBF(rng, m, 0.75*base, 1.25*base)), nil
 	}},
-	{"racks-2", reliabilityModelBase, func(rng *rand.Rand, m int, base float64) failure.Model {
+	{"racks-2", reliabilityModelBase, func(rng *rand.Rand, m int, base float64) (failure.Model, error) {
+		mesh, err := topology.Mesh2D(2, m/2, 1)
+		if err != nil {
+			return nil, err
+		}
 		return &failure.Rack{
-			Groups:   topology.Mesh2D(2, m/2, 1).Racks(2),
+			Groups:   mesh.Racks(2),
 			RackMTBF: float64(m) * base, // one common-mode failure as likely as one processor's
 			Proc:     &failure.Exponential{MTBF: failure.UniformMTBF(rng, m, 0.75*base, 1.25*base)},
-		}
+		}, nil
 	}},
-}
-
-// reliabilityMeas is one unit's tally for one algorithm.
-type reliabilityMeas struct {
-	latSum              float64
-	survived, lost, errs int
 }
 
 type reliabilityUnit struct {
-	algs [4]reliabilityMeas
+	algs [4]MCTally
 }
 
 // runReliabilityUnit generates one instance, schedules it with all four
 // algorithms and replays the same sampled crash-time scenarios against
 // each of them.
-func runReliabilityUnit(rng *rand.Rand, mult float64, build func(*rand.Rand, int, float64) failure.Model) (reliabilityUnit, error) {
+func runReliabilityUnit(rng *rand.Rand, mult float64, build func(*rand.Rand, int, float64) (failure.Model, error)) (reliabilityUnit, error) {
 	var out reliabilityUnit
 	const m = 10
 	cfg := Config{M: m, Params: gen.DefaultParams, DelayLo: 0.5, DelayHi: 1.0, Model: sched.OnePort, Policy: timeline.Append}
@@ -154,24 +151,11 @@ func runReliabilityUnit(rng *rand.Rand, mult float64, build func(*rand.Rand, int
 		}
 	}
 
-	model := build(rng, m, mult*T)
-	scratch := map[int]float64{}
-	for draw := 0; draw < reliabilitySamples; draw++ {
-		times := model.Sample(rng, scratch)
-		for a := range reps {
-			lat, err := reps[a].CrashLatencyAt(times)
-			meas := &out.algs[a]
-			switch {
-			case errors.Is(err, sim.ErrTaskLost) || math.IsInf(lat, 1):
-				meas.lost++
-			case err != nil:
-				meas.errs++
-			default:
-				meas.survived++
-				meas.latSum += lat / DefaultNorm
-			}
-		}
+	model, err := build(rng, m, mult*T)
+	if err != nil {
+		return out, err
 	}
+	ReplaySamples(reps[:], out.algs[:], model, reliabilitySamples, DefaultNorm, rng, map[int]float64{})
 	return out, nil
 }
 
@@ -212,10 +196,10 @@ func RunReliability(w io.Writer, graphs int, seed int64, workers int) ([]Reliabi
 		for _, u := range units[cell*graphs : (cell+1)*graphs] {
 			for a := range u.algs {
 				m := u.algs[a]
-				pt.Lat[a] += m.latSum
-				pt.Draws[a] += m.survived + m.lost
-				pt.Unrel[a] += float64(m.lost)
-				pt.ReplayErrors += m.errs
+				pt.Lat[a] += m.LatSum
+				pt.Draws[a] += m.Draws()
+				pt.Unrel[a] += float64(m.Lost)
+				pt.ReplayErrors += m.ReplayErrors
 			}
 		}
 		for a := range pt.Lat {

@@ -88,7 +88,11 @@ func TestRackCorrelation(t *testing.T) {
 	// Racks only (no individual failures): all members of a rack must
 	// share one crash instant, and distinct racks must (almost surely)
 	// differ.
-	groups := topology.Mesh2D(2, 3, 1).Racks(2)
+	mesh, err := topology.Mesh2D(2, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := mesh.Racks(2)
 	r := &Rack{Groups: groups, RackMTBF: 1.0}
 	if err := r.Validate(6); err != nil {
 		t.Fatal(err)

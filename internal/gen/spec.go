@@ -1,0 +1,202 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"caft/internal/dag"
+)
+
+// Spec is a declarative description of one generated task graph — the
+// parameters cmd/dagen exposes as flags, in a form other entry points
+// (the caftd scheduling service in particular) can accept as JSON and
+// resolve to the same graph. Build is a pure function of the spec:
+// equal specs produce identical graphs, and Canonical reduces a spec to
+// its semantic content so equal-building specs compare equal.
+type Spec struct {
+	// Kind selects the family: random, fork, join, chain, outforest,
+	// diamond, stencil, montage, fft.
+	Kind string `json:"kind"`
+	// N is the size parameter (leaves, length, tasks, width, or log2
+	// points depending on Kind). The random family sizes itself from
+	// MinTasks/MaxTasks instead and ignores N.
+	N int `json:"n,omitempty"`
+	// Depth parameterizes diamond (chain length) and stencil (rows);
+	// zero means the default of 4. Other kinds ignore it.
+	Depth int `json:"depth,omitempty"`
+	// Volume is the edge data volume of the structured families
+	// (outforest included). Zero is a legal value and means zero-volume
+	// (communication-free) edges; cmd/dagen's flag default is 100. The
+	// random family draws volumes from its own range and ignores it.
+	Volume float64 `json:"volume,omitempty"`
+	// Seed feeds the PRNG of the random families (random, outforest);
+	// the deterministic kinds ignore it.
+	Seed int64 `json:"seed,omitempty"`
+	// MinTasks/MaxTasks bound the task count of the random family; zero
+	// means the paper's DefaultParams range. Other kinds ignore them.
+	MinTasks int `json:"minTasks,omitempty"`
+	MaxTasks int `json:"maxTasks,omitempty"`
+	// Roots is the outforest tree count (zero means 2); Degree its
+	// per-task out-degree cap (zero means unbounded). Other kinds
+	// ignore both.
+	Roots  int `json:"roots,omitempty"`
+	Degree int `json:"degree,omitempty"`
+}
+
+// Canonical returns the spec reduced to its semantic content: omitted
+// optional fields are resolved to their documented defaults and fields
+// the kind does not consume are zeroed. Two specs build the same graph
+// if and only if their Canonical forms are equal, which is what the
+// caftd schedule cache keys on.
+func (sp Spec) Canonical() Spec { return sp.withDefaults() }
+
+// withDefaults implements Canonical; see the per-field comments on Spec
+// for which kind consumes which field.
+func (sp Spec) withDefaults() Spec {
+	c := Spec{Kind: sp.Kind}
+	switch sp.Kind {
+	case "random":
+		c.Seed = sp.Seed
+		c.MinTasks, c.MaxTasks = sp.MinTasks, sp.MaxTasks
+		if c.MinTasks == 0 {
+			c.MinTasks = DefaultParams.MinTasks
+		}
+		if c.MaxTasks == 0 {
+			c.MaxTasks = DefaultParams.MaxTasks
+		}
+	case "outforest":
+		c.N, c.Volume, c.Seed = sp.N, sp.Volume, sp.Seed
+		c.Roots, c.Degree = sp.Roots, sp.Degree
+		if c.Roots == 0 {
+			c.Roots = 2
+		}
+	case "diamond", "stencil":
+		c.N, c.Volume, c.Depth = sp.N, sp.Volume, sp.Depth
+		if c.Depth == 0 {
+			c.Depth = 4
+		}
+	case "montage":
+		c.N, c.Volume = sp.N, sp.Volume
+		// Montage itself clamps nproj below 2 up to 2; mirror it here so
+		// specs that build the same graph share one canonical form.
+		if c.N < 2 {
+			c.N = 2
+		}
+	default: // fork, join, chain, fft — and unknown kinds
+		c.N, c.Volume = sp.N, sp.Volume
+	}
+	return c
+}
+
+// Validate checks the spec's parameters against its family. Fields the
+// family does not consume are ignored (Canonical zeroes them).
+func (sp Spec) Validate() error {
+	sp = sp.withDefaults()
+	switch sp.Kind {
+	case "random":
+		if sp.MinTasks < 1 || sp.MaxTasks < sp.MinTasks {
+			return fmt.Errorf("gen: bad task range [%d, %d]", sp.MinTasks, sp.MaxTasks)
+		}
+		return nil
+	case "outforest":
+		if sp.Roots < 1 {
+			return fmt.Errorf("gen: roots must be positive, got %d", sp.Roots)
+		}
+		if sp.Degree < 0 {
+			return fmt.Errorf("gen: degree must be non-negative, got %d", sp.Degree)
+		}
+	case "diamond", "stencil":
+		if sp.Depth < 1 {
+			return fmt.Errorf("gen: depth must be positive, got %d", sp.Depth)
+		}
+	case "fork", "join", "chain", "montage", "fft":
+	default:
+		return fmt.Errorf("gen: unknown kind %q", sp.Kind)
+	}
+	if sp.N < 1 {
+		return fmt.Errorf("gen: size n must be positive, got %d", sp.N)
+	}
+	if sp.Volume < 0 {
+		return fmt.Errorf("gen: volume must be non-negative, got %v", sp.Volume)
+	}
+	return nil
+}
+
+// Tasks returns the task count the spec builds — exact for the
+// deterministic families, the MaxTasks upper bound for random —
+// without building anything, saturating at math.MaxInt instead of
+// overflowing. Serving layers use it to bound problem sizes before
+// allocating.
+func (sp Spec) Tasks() int {
+	sp = sp.withDefaults()
+	switch sp.Kind {
+	case "random":
+		return sp.MaxTasks
+	case "fork", "join":
+		return satAdd(sp.N, 1)
+	case "chain", "outforest":
+		return sp.N
+	case "diamond":
+		return satAdd(satMul(sp.N, sp.Depth), 2)
+	case "stencil":
+		return satMul(sp.N, sp.Depth)
+	case "montage":
+		// nproj + (nproj-1) diffs + model + nproj backgrounds + add + shrink.
+		return satAdd(satMul(3, max(sp.N, 2)), 2)
+	case "fft":
+		if sp.N >= 57 { // (n+1) * 2^n no longer fits in an int64
+			return math.MaxInt
+		}
+		return satMul(sp.N+1, 1<<sp.N)
+	}
+	return 0
+}
+
+func satAdd(a, b int) int {
+	if a > math.MaxInt-b {
+		return math.MaxInt
+	}
+	return a + b
+}
+
+func satMul(a, b int) int {
+	if a > 0 && b > 0 && a > math.MaxInt/b {
+		return math.MaxInt
+	}
+	return a * b
+}
+
+// Build validates the spec and generates its graph. Random families
+// draw from a PRNG seeded with sp.Seed, so the result is a pure
+// function of the spec.
+func (sp Spec) Build() (*dag.DAG, error) {
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	sp = sp.withDefaults()
+	rng := rand.New(rand.NewSource(sp.Seed))
+	switch sp.Kind {
+	case "random":
+		params := DefaultParams
+		params.MinTasks, params.MaxTasks = sp.MinTasks, sp.MaxTasks
+		return RandomLayered(rng, params), nil
+	case "fork":
+		return Fork(sp.N, sp.Volume), nil
+	case "join":
+		return Join(sp.N, sp.Volume), nil
+	case "chain":
+		return Chain(sp.N, sp.Volume), nil
+	case "outforest":
+		return RandomOutForest(rng, sp.N, sp.Roots, sp.Degree, sp.Volume, sp.Volume), nil
+	case "diamond":
+		return Diamond(sp.N, sp.Depth, sp.Volume), nil
+	case "stencil":
+		return Stencil(sp.Depth, sp.N, sp.Volume), nil
+	case "montage":
+		return Montage(sp.N, sp.Volume), nil
+	case "fft":
+		return FFT(sp.N, sp.Volume), nil
+	}
+	panic("unreachable: Validate accepts only known kinds")
+}

@@ -1,0 +1,147 @@
+package gen
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Every kind must build, and equal specs must produce byte-identical
+// graphs — Build is the shared dispatch behind cmd/dagen and the caftd
+// service, whose schedule cache keys on the spec.
+func TestSpecBuildEveryKindDeterministic(t *testing.T) {
+	kinds := []string{"random", "fork", "join", "chain", "outforest", "diamond", "stencil", "montage", "fft"}
+	for _, kind := range kinds {
+		sp := Spec{Kind: kind, N: 5, Seed: 3}
+		g1, err := sp.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if g1.NumTasks() == 0 {
+			t.Fatalf("%s: empty graph", kind)
+		}
+		g2, err := sp.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		var b1, b2 bytes.Buffer
+		if err := g1.Write(&b1); err != nil {
+			t.Fatal(err)
+		}
+		if err := g2.Write(&b2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+			t.Errorf("%s: two builds of the same spec differ", kind)
+		}
+	}
+}
+
+func TestSpecValidateRejects(t *testing.T) {
+	bad := []Spec{
+		{Kind: "nosuch", N: 5},
+		{Kind: "fork", N: 0},
+		{Kind: "fork", N: -2},
+		{Kind: "diamond", N: 3, Depth: -1},
+		{Kind: "chain", N: 3, Volume: -5},
+		{Kind: "random", MinTasks: 9, MaxTasks: 3},
+		{Kind: "outforest", N: 10, Roots: -1},
+		{Kind: "outforest", N: 10, Degree: -2},
+	}
+	for _, sp := range bad {
+		if err := sp.Validate(); err == nil {
+			t.Errorf("spec %+v accepted", sp)
+		}
+		if _, err := sp.Build(); err == nil {
+			t.Errorf("spec %+v built", sp)
+		}
+	}
+}
+
+func buildBytes(t *testing.T, sp Spec) []byte {
+	t.Helper()
+	g, err := sp.Build()
+	if err != nil {
+		t.Fatalf("%+v: %v", sp, err)
+	}
+	var b bytes.Buffer
+	if err := g.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.Bytes()
+}
+
+// Canonical resolves omitted defaults and zeroes fields the kind does
+// not consume, so specs that build the same graph share one canonical
+// form (the caftd cache key).
+func TestSpecCanonical(t *testing.T) {
+	equal := [][2]Spec{
+		// Omitted depth means 4.
+		{{Kind: "diamond", N: 3, Volume: 100}, {Kind: "diamond", N: 3, Depth: 4, Volume: 100}},
+		// Omitted roots means 2.
+		{{Kind: "outforest", N: 10, Seed: 5}, {Kind: "outforest", N: 10, Seed: 5, Roots: 2}},
+		// random ignores n, depth and volume; omitted bounds mean the
+		// paper's defaults.
+		{{Kind: "random", Seed: 3}, {Kind: "random", Seed: 3, N: 99, Depth: 7, Volume: 5,
+			MinTasks: DefaultParams.MinTasks, MaxTasks: DefaultParams.MaxTasks}},
+		// Deterministic kinds ignore the seed and the random-only knobs.
+		{{Kind: "montage", N: 4}, {Kind: "montage", N: 4, Seed: 9, Roots: 3, MinTasks: 5}},
+		// Montage clamps nproj below 2 up to 2; the canonical form
+		// mirrors the clamp.
+		{{Kind: "montage", N: 1, Volume: 50}, {Kind: "montage", N: 2, Volume: 50}},
+	}
+	for _, pair := range equal {
+		if pair[0].Canonical() != pair[1].Canonical() {
+			t.Errorf("canonical forms differ: %+v vs %+v", pair[0].Canonical(), pair[1].Canonical())
+		}
+		if !bytes.Equal(buildBytes(t, pair[0]), buildBytes(t, pair[1])) {
+			t.Errorf("equal canonical specs build different graphs: %+v vs %+v", pair[0], pair[1])
+		}
+	}
+	// The random family needs no size parameter at all.
+	if _, err := (Spec{Kind: "random", Seed: 1}).Build(); err != nil {
+		t.Errorf("minimal random spec rejected: %v", err)
+	}
+}
+
+// Tasks must predict the built task count exactly for deterministic
+// kinds (an upper bound for random) and saturate instead of overflow.
+func TestSpecTasks(t *testing.T) {
+	for _, sp := range []Spec{
+		{Kind: "fork", N: 6}, {Kind: "join", N: 6}, {Kind: "chain", N: 6},
+		{Kind: "outforest", N: 9, Seed: 2}, {Kind: "diamond", N: 3, Depth: 5},
+		{Kind: "stencil", N: 4, Depth: 3}, {Kind: "montage", N: 5}, {Kind: "fft", N: 3},
+	} {
+		g, err := sp.Build()
+		if err != nil {
+			t.Fatalf("%+v: %v", sp, err)
+		}
+		if got := sp.Tasks(); got != g.NumTasks() {
+			t.Errorf("%s: Tasks() = %d, built %d", sp.Kind, got, g.NumTasks())
+		}
+	}
+	if got := (Spec{Kind: "random"}).Tasks(); got != DefaultParams.MaxTasks {
+		t.Errorf("random Tasks() = %d, want the MaxTasks bound %d", got, DefaultParams.MaxTasks)
+	}
+	for _, sp := range []Spec{
+		{Kind: "fft", N: 62},
+		{Kind: "stencil", N: 1 << 40, Depth: 1 << 40},
+	} {
+		if got := sp.Tasks(); got != int(^uint(0)>>1) {
+			t.Errorf("%s overflow case: Tasks() = %d, want MaxInt", sp.Kind, got)
+		}
+	}
+}
+
+// Volume zero is a legal literal (communication-free edges), not an
+// omitted-default marker: dagen's documented `-volume 0` behavior.
+func TestSpecZeroVolume(t *testing.T) {
+	g, err := Spec{Kind: "fork", N: 3}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range g.Edges() {
+		if e.Volume != 0 {
+			t.Fatalf("edge %d->%d has volume %v, want 0", e.From, e.To, e.Volume)
+		}
+	}
+}

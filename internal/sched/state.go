@@ -220,9 +220,15 @@ func (st *State) Snapshot() *Schedule {
 }
 
 // ProcsOf returns a bitset, indexed by processor, of the processors
-// hosting a replica of t. The returned slice is scratch owned by the
-// state: it is valid until the next ProcsOf call and must not be
-// retained.
+// hosting a replica of t.
+//
+// Aliasing contract: the returned slice is scratch owned by the state —
+// the next ProcsOf call on the same state overwrites it in place, so it
+// must not be retained across calls (and a caller iterating it must not
+// call ProcsOf, directly or through a helper, inside the loop). Both
+// in-tree callers (core's bestOneToOne and bestFull) consume the bitset
+// before any further ProcsOf call; callers that need a stable snapshot
+// use ProcsOfCopy.
 func (st *State) ProcsOf(t dag.TaskID) []bool {
 	if st.hosting == nil {
 		st.hosting = make([]bool, st.m)
@@ -234,6 +240,12 @@ func (st *State) ProcsOf(t dag.TaskID) []bool {
 		st.hosting[r.Proc] = true
 	}
 	return st.hosting
+}
+
+// ProcsOfCopy returns a freshly allocated copy of ProcsOf(t), safe to
+// retain across further calls on the state.
+func (st *State) ProcsOfCopy(t dag.TaskID) []bool {
+	return append([]bool(nil), st.ProcsOf(t)...)
 }
 
 // SourceSet names, for one predecessor edge of the task being placed,

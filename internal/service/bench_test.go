@@ -1,0 +1,63 @@
+package service
+
+import (
+	"context"
+	"testing"
+)
+
+// BenchmarkServeCached measures the cache-hit path: canonical hash,
+// lookup, stats. No scheduling work runs and the service layer
+// allocates nothing per request — TestServeCachedAllocFree pins the
+// zero, this benchmark reports it (run with -benchmem).
+func BenchmarkServeCached(b *testing.B) {
+	svc := New(Config{Workers: 2})
+	defer svc.Close()
+	req := quickReq()
+	if _, err := svc.Do(context.Background(), req); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := svc.Do(context.Background(), req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// The acceptance pin behind BenchmarkServeCached: a cache hit must not
+// allocate in the service layer.
+func TestServeCachedAllocFree(t *testing.T) {
+	svc := New(Config{Workers: 2})
+	defer svc.Close()
+	req := quickReq()
+	if _, err := svc.Do(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+	var err error
+	allocs := testing.AllocsPerRun(200, func() {
+		_, err = svc.Do(context.Background(), req)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if allocs > 0 {
+		t.Errorf("cache-hit path allocates %.1f per request, want 0", allocs)
+	}
+}
+
+// BenchmarkServeMiss measures a full compute (schedule + encode) for
+// scale: the denominator that makes the cached path's win visible.
+func BenchmarkServeMiss(b *testing.B) {
+	svc := New(Config{Workers: 2})
+	defer svc.Close()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		req := quickReq()
+		req.Reliability = nil
+		req.Seed = int64(i + 1) // unique problem per iteration
+		if _, err := svc.Do(context.Background(), req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package service
+
+import "sync"
+
+// entry is one content-addressed cache slot. done is closed when the
+// compute finishes; resp and err are written exactly once before that
+// and immutable afterwards, so any number of readers may share them.
+type entry struct {
+	done chan struct{}
+	resp []byte
+	err  error
+}
+
+// cache maps canonical request hashes to entries. It doubles as the
+// singleflight table: the first requester of a key creates the entry
+// (and owns the compute), every later requester — concurrent or not —
+// finds it and waits on done. The read path takes only an RLock and
+// allocates nothing.
+type cache struct {
+	mu  sync.RWMutex
+	m   map[hashKey]*entry
+	max int // entries; 0 = unbounded
+}
+
+func newCache(max int) *cache {
+	return &cache{m: make(map[hashKey]*entry), max: max}
+}
+
+// lookup returns the entry for key, creating it when absent. created
+// reports whether the caller owns the compute for this entry.
+func (c *cache) lookup(key hashKey) (e *entry, created bool) {
+	c.mu.RLock()
+	e = c.m[key]
+	c.mu.RUnlock()
+	if e != nil {
+		return e, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e = c.m[key]; e != nil {
+		return e, false
+	}
+	if c.max > 0 && len(c.m) >= c.max {
+		c.evictLocked()
+	}
+	e = &entry{done: make(chan struct{})}
+	c.m[key] = e
+	return e, true
+}
+
+// evictLocked drops one completed entry (map-iteration order, i.e.
+// effectively random). In-flight entries are never evicted, so their
+// waiters always resolve; if every entry is in flight the cache
+// temporarily exceeds max rather than blocking.
+func (c *cache) evictLocked() {
+	for k, e := range c.m {
+		select {
+		case <-e.done:
+			delete(c.m, k)
+			return
+		default:
+		}
+	}
+}
+
+// remove drops the entry for key if it is still the one stored —
+// abandoning creators use it so a never-computed entry does not pin the
+// key forever.
+func (c *cache) remove(key hashKey, e *entry) {
+	c.mu.Lock()
+	if c.m[key] == e {
+		delete(c.m, key)
+	}
+	c.mu.Unlock()
+}
+
+func (c *cache) len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.m)
+}

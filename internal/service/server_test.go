@@ -1,0 +1,122 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func newTestServer(t *testing.T, cfg Config) (*httptest.Server, *Service) {
+	t.Helper()
+	svc := New(cfg)
+	srv := httptest.NewServer(NewHandler(svc))
+	t.Cleanup(func() { srv.Close(); svc.Close() })
+	return srv, svc
+}
+
+const quickJSON = `{
+  "alg": "caft", "eps": 1, "seed": 1,
+  "generator": {"kind": "montage", "n": 4, "volume": 100},
+  "platform": {"m": 4, "delay": 0.75},
+  "reliability": {"samples": 128, "mtbf": 5000, "seed": 3}
+}`
+
+func TestHTTPSchedule(t *testing.T) {
+	srv, _ := newTestServer(t, Config{Workers: 2})
+	resp, err := http.Post(srv.URL+"/schedule", "application/json", strings.NewReader(quickJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type %q", ct)
+	}
+	var r Response
+	if err := json.NewDecoder(resp.Body).Decode(&r); err != nil {
+		t.Fatal(err)
+	}
+	if r.Latency <= 0 || r.Reliability == nil {
+		t.Errorf("response implausible: %+v", r)
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	srv, _ := newTestServer(t, Config{Workers: 1})
+	cases := []struct {
+		name string
+		body string
+		want int
+	}{
+		{"malformed json", `{"alg": `, http.StatusBadRequest},
+		{"unknown field", `{"alg": "caft", "epz": 1}`, http.StatusBadRequest},
+		{"validation", `{"alg": "nosuch", "platform": {"m": 4, "delay": 1}, "generator": {"kind": "fork", "n": 3}}`, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		resp, err := http.Post(srv.URL+"/schedule", "application/json", strings.NewReader(c.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var e map[string]string
+		if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e["error"] == "" {
+			t.Errorf("%s: error body missing (%v)", c.name, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != c.want {
+			t.Errorf("%s: status %d, want %d", c.name, resp.StatusCode, c.want)
+		}
+	}
+	// GET on /schedule is not part of the API.
+	resp, err := http.Get(srv.URL + "/schedule")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /schedule: status %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestHTTPHealthzStatsz(t *testing.T) {
+	srv, _ := newTestServer(t, Config{Workers: 1})
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+	var health map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil || health["status"] != "ok" {
+		t.Errorf("healthz body wrong (%v): %v", err, health)
+	}
+
+	// Serve the same request twice, then read the counters.
+	for i := 0; i < 2; i++ {
+		r, err := http.Post(srv.URL+"/schedule", "application/json", strings.NewReader(quickJSON))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+	}
+	resp2, err := http.Get(srv.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var st StatsSnapshot
+	if err := json.NewDecoder(resp2.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Misses != 1 || st.Hits != 1 || st.CacheEntries != 1 {
+		t.Errorf("statsz %+v: want 1 miss, 1 hit, 1 entry", st)
+	}
+	if st.HitRate != 0.5 || st.P50Millis < 0 {
+		t.Errorf("statsz derived fields wrong: %+v", st)
+	}
+}

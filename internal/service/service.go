@@ -1,0 +1,158 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Config tunes a Service.
+type Config struct {
+	// Workers is the size of the scheduling worker pool — the number of
+	// problems computed concurrently. 0 means GOMAXPROCS. The worker
+	// count never affects response bytes, only throughput.
+	Workers int
+	// MCWorkers is the fan-out of the reliability Monte-Carlo batches
+	// on the expt work-unit pool. 0 means GOMAXPROCS; estimates are
+	// byte-identical for any value.
+	MCWorkers int
+	// CacheMax bounds the response cache (entries); 0 means unbounded.
+	CacheMax int
+}
+
+// ErrBadRequest wraps every request-validation failure; the HTTP layer
+// maps it to 400 and everything else to 500.
+var ErrBadRequest = errors.New("bad request")
+
+// ErrClosed is returned by Do once Close has been called.
+var ErrClosed = errors.New("service closed")
+
+// Service is the scheduling service core: a content-addressed response
+// cache with singleflight collapsing in front of a bounded worker pool.
+// It is safe for concurrent use, including Do racing Close: requests
+// that cannot be handed to the pool anymore fail with ErrClosed.
+type Service struct {
+	cfg     Config
+	cache   *cache
+	jobs    chan job
+	closing chan struct{}
+	st      stats
+	wg      sync.WaitGroup
+}
+
+type job struct {
+	req *Request
+	e   *entry
+}
+
+// New starts a Service with cfg.Workers compute workers.
+func New(cfg Config) *Service {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	s := &Service{
+		cfg:     cfg,
+		cache:   newCache(cfg.CacheMax),
+		jobs:    make(chan job),
+		closing: make(chan struct{}),
+	}
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Close stops the worker pool after the in-flight computes finish.
+// Requests still blocked on the pool handoff resolve with ErrClosed;
+// nothing panics however Close races in-flight Do calls (the jobs
+// channel is never closed — workers and blocked senders both leave via
+// the closing signal).
+func (s *Service) Close() {
+	close(s.closing)
+	s.wg.Wait()
+}
+
+// Do serves one request: validate, hash, and either return the cached
+// (or in-flight) response or compute it on the pool. The returned bytes
+// are the immutable encoded response and must not be modified.
+//
+// ctx cancels the *wait*, not the compute: a caller that gives up while
+// its entry is in flight gets ctx.Err() and the worker still finishes
+// and caches the result for future requests. A caller canceled before
+// its compute was handed to the pool removes the entry, so collapsed
+// waiters fail fast and the next identical request retries.
+//
+// The cache-hit path — hash, lookup, receive from a closed channel,
+// stats — performs no scheduling work and allocates nothing;
+// BenchmarkServeCached pins this.
+func (s *Service) Do(ctx context.Context, req *Request) ([]byte, error) {
+	if err := req.validate(); err != nil {
+		s.st.badRequests.Add(1)
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	start := time.Now()
+	s.st.inflight.Add(1)
+	defer s.st.inflight.Add(-1)
+
+	key := req.hash()
+	e, created := s.cache.lookup(key)
+	if created {
+		select {
+		case s.jobs <- job{req: req, e: e}:
+			// Counted only after the handoff: Misses documents the number
+			// of scheduling runs performed, and an abandoned entry never
+			// reaches a worker.
+			s.st.misses.Add(1)
+		case <-ctx.Done():
+			return nil, s.abandon(key, e, ctx.Err())
+		case <-s.closing:
+			return nil, s.abandon(key, e, ErrClosed)
+		}
+	} else {
+		s.st.hits.Add(1)
+	}
+	select {
+	case <-e.done:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	s.st.record(time.Since(start))
+	if e.err != nil {
+		s.st.failures.Add(1)
+		return nil, e.err
+	}
+	return e.resp, nil
+}
+
+// abandon resolves an entry whose compute never reached the pool:
+// waiters collapsed onto it fail with err, and the entry leaves the
+// cache so the next identical request retries.
+func (s *Service) abandon(key hashKey, e *entry, err error) error {
+	s.cache.remove(key, e)
+	e.err = err
+	close(e.done)
+	return err
+}
+
+// Stats returns a snapshot of the serving counters.
+func (s *Service) Stats() StatsSnapshot {
+	return s.st.snapshot(s.cache.len(), s.cfg.Workers)
+}
+
+func (s *Service) worker() {
+	defer s.wg.Done()
+	sc := newScratch()
+	for {
+		select {
+		case j := <-s.jobs:
+			j.e.resp, j.e.err = s.compute(sc, j.req)
+			close(j.e.done)
+		case <-s.closing:
+			return
+		}
+	}
+}

@@ -1,0 +1,429 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"caft/internal/dag"
+	"caft/internal/gen"
+)
+
+// testDAG is a placeholder inline graph for validation tests.
+var testDAG = *dag.New(3)
+
+// quickReq is the canonical small test request: a montage workflow on
+// four processors, scheduled by CAFT at eps = 1 with a reliability
+// estimate. Mirrors cmd/caftd/testdata/quickstart.json.
+func quickReq() *Request {
+	return &Request{
+		Alg:       "caft",
+		Eps:       1,
+		Seed:      1,
+		Generator: &gen.Spec{Kind: "montage", N: 4, Volume: 100},
+		Platform:  PlatformSpec{M: 4, Delay: 0.75},
+		Reliability: &ReliabilitySpec{
+			Samples: 128,
+			MTBF:    5000,
+			Seed:    3,
+		},
+	}
+}
+
+func decodeResponse(t *testing.T, raw []byte) Response {
+	t.Helper()
+	var resp Response
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		t.Fatalf("undecodable response: %v\n%s", err, raw)
+	}
+	return resp
+}
+
+func TestServeBasics(t *testing.T) {
+	svc := New(Config{Workers: 2})
+	defer svc.Close()
+	raw, err := svc.Do(context.Background(), quickReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := decodeResponse(t, raw)
+	if resp.Alg != "caft" || resp.Eps != 1 || resp.Policy != "append" || resp.Model != "one-port" {
+		t.Errorf("header fields wrong: %+v", resp)
+	}
+	if resp.Latency <= 0 || resp.Makespan < resp.Latency {
+		t.Errorf("latency %v / makespan %v implausible", resp.Latency, resp.Makespan)
+	}
+	if resp.Tasks == 0 || resp.Replicas < 2*resp.Tasks {
+		t.Errorf("eps=1 schedule must hold >= 2 replicas per task: tasks=%d replicas=%d", resp.Tasks, resp.Replicas)
+	}
+	if len(resp.Schedule.Replicas) != resp.Replicas {
+		t.Errorf("schedule section lists %d replicas, header says %d", len(resp.Schedule.Replicas), resp.Replicas)
+	}
+	if resp.Reliability == nil || resp.Reliability.Samples != 128 {
+		t.Fatalf("reliability section missing or short: %+v", resp.Reliability)
+	}
+	if u := resp.Reliability.Unreliability; u < 0 || u > 1 {
+		t.Errorf("unreliability %v outside [0,1]", u)
+	}
+}
+
+// Every supported scheduler must serve under both policies and both
+// communication models.
+func TestServeEveryAlgPolicyModel(t *testing.T) {
+	svc := New(Config{Workers: 4})
+	defer svc.Close()
+	for _, alg := range algNames {
+		for _, policy := range []string{"append", "insertion"} {
+			for _, model := range []string{"one-port", "macro-dataflow"} {
+				req := quickReq()
+				req.Alg = alg
+				req.Policy = policy
+				req.Model = model
+				req.Reliability = nil
+				if alg == "heft" {
+					req.Eps = 0
+				}
+				if _, err := svc.Do(context.Background(), req); err != nil {
+					t.Errorf("%s/%s/%s: %v", alg, policy, model, err)
+				}
+			}
+		}
+	}
+}
+
+func TestServeSparseTopology(t *testing.T) {
+	svc := New(Config{Workers: 2})
+	defer svc.Close()
+	for _, topo := range []TopologySpec{
+		{Shape: "ring"},
+		{Shape: "star", Delay: 0.5},
+		{Shape: "mesh", Rows: 2, Cols: 2},
+		{Shape: "torus", Rows: 2, Cols: 2},
+		{Shape: "random", Extra: 2, DelayLo: 0.5, DelayHi: 1.0, Seed: 4},
+	} {
+		req := quickReq()
+		req.Reliability = nil
+		req.Topology = &topo
+		raw, err := svc.Do(context.Background(), req)
+		if err != nil {
+			t.Fatalf("%s: %v", topo.Shape, err)
+		}
+		if resp := decodeResponse(t, raw); resp.Latency <= 0 {
+			t.Errorf("%s: latency %v", topo.Shape, resp.Latency)
+		}
+	}
+}
+
+func TestValidationRejects(t *testing.T) {
+	svc := New(Config{Workers: 1})
+	defer svc.Close()
+	mutations := map[string]func(*Request){
+		"unknown alg":           func(r *Request) { r.Alg = "lpt" },
+		"negative eps":          func(r *Request) { r.Eps = -1 },
+		"heft with eps":         func(r *Request) { r.Alg = "heft"; r.Eps = 2 },
+		"unknown policy":        func(r *Request) { r.Policy = "fifo" },
+		"unknown model":         func(r *Request) { r.Model = "wormhole" },
+		"no graph":              func(r *Request) { r.Generator = nil },
+		"both graphs":           func(r *Request) { r.DAG = &testDAG },
+		"bad generator":         func(r *Request) { r.Generator.Kind = "nosuch" },
+		"no processors":         func(r *Request) { r.Platform.M = 0 },
+		"bad delay range":       func(r *Request) { r.Platform = PlatformSpec{M: 4, DelayLo: 1, DelayHi: 0.5} },
+		"delay conflict":        func(r *Request) { r.Platform = PlatformSpec{M: 4, Delay: 1, DelayLo: 0.5, DelayHi: 1} },
+		"bad topology shape":    func(r *Request) { r.Topology = &TopologySpec{Shape: "clique"} },
+		"topology size":         func(r *Request) { r.Topology = &TopologySpec{Shape: "mesh", Rows: 3, Cols: 3} },
+		"hypercube size":        func(r *Request) { r.Topology = &TopologySpec{Shape: "hypercube", K: 3} },
+		"negative granularity":  func(r *Request) { r.Granularity = -1 },
+		"huge graph":            func(r *Request) { r.Generator = &gen.Spec{Kind: "chain", N: 2_000_000_000} },
+		"huge fft":              func(r *Request) { r.Generator = &gen.Spec{Kind: "fft", N: 62} },
+		"huge platform":         func(r *Request) { r.Platform = PlatformSpec{M: 1 << 20, Delay: 1} },
+		"matrix cells":          func(r *Request) { r.Generator = &gen.Spec{Kind: "chain", N: 100_000}; r.Platform = PlatformSpec{M: 1 << 10, Delay: 1} },
+		"zero samples":          func(r *Request) { r.Reliability.Samples = 0 },
+		"no mtbf":               func(r *Request) { r.Reliability.MTBF = 0 },
+		"bad failure kind":      func(r *Request) { r.Reliability.Kind = "lognormal" },
+		"weibull without shape": func(r *Request) { r.Reliability.Kind = "weibull" },
+		"shape on exponential":  func(r *Request) { r.Reliability.Shape = 2 },
+	}
+	for name, mutate := range mutations {
+		req := quickReq()
+		mutate(req)
+		_, err := svc.Do(context.Background(), req)
+		if !errors.Is(err, ErrBadRequest) {
+			t.Errorf("%s: got %v, want ErrBadRequest", name, err)
+		}
+	}
+	if got := svc.Stats().BadRequests; got != int64(len(mutations)) {
+		t.Errorf("badRequests counter %d, want %d", got, len(mutations))
+	}
+}
+
+// Canonicalization: omitted defaults and explicit defaults must share a
+// cache key; any semantic change must not.
+func TestHashCanonicalization(t *testing.T) {
+	base := quickReq().hash()
+	explicit := quickReq()
+	explicit.Policy = "append"
+	explicit.Model = "one-port"
+	explicit.Granularity = 1.0
+	explicit.Reliability.Kind = "exponential"
+	// Fields the montage generator does not consume are canonicalized
+	// away (gen.Spec.Canonical), so junk in them cannot split the cache.
+	explicit.Generator.Depth = 9
+	explicit.Generator.Seed = 42
+	explicit.Generator.Roots = 5
+	if explicit.hash() != base {
+		t.Error("explicit defaults hash differently from omitted defaults")
+	}
+	// Topology fields the shape does not consume are canonicalized away
+	// too, and the fixed-shape delay default (1) is resolved.
+	ringReq := quickReq()
+	ringReq.Topology = &TopologySpec{Shape: "ring"}
+	ringJunk := quickReq()
+	ringJunk.Topology = &TopologySpec{Shape: "ring", Delay: 1, Rows: 3, Cols: 9, K: 2, Extra: 7, Seed: 5}
+	if ringReq.hash() != ringJunk.hash() {
+		t.Error("junk in unused topology fields split the cache key")
+	}
+	changes := map[string]func(*Request){
+		"alg":         func(r *Request) { r.Alg = "ftsa" },
+		"eps":         func(r *Request) { r.Eps = 2 },
+		"policy":      func(r *Request) { r.Policy = "insertion" },
+		"model":       func(r *Request) { r.Model = "macro-dataflow" },
+		"seed":        func(r *Request) { r.Seed = 2 },
+		"gen kind":    func(r *Request) { r.Generator.Kind = "fft" },
+		"gen n":       func(r *Request) { r.Generator.N = 5 },
+		"gen volume":  func(r *Request) { r.Generator.Volume = 50 },
+		"rel kind":    func(r *Request) { r.Reliability.Kind = "weibull"; r.Reliability.Shape = 2 },
+		"m":           func(r *Request) { r.Platform.M = 5 },
+		"delay":       func(r *Request) { r.Platform.Delay = 1 },
+		"granularity": func(r *Request) { r.Granularity = 2 },
+		"topology":    func(r *Request) { r.Topology = &TopologySpec{Shape: "ring"} },
+		"samples":     func(r *Request) { r.Reliability.Samples = 64 },
+		"mtbf":        func(r *Request) { r.Reliability.MTBF = 100 },
+		"rel seed":    func(r *Request) { r.Reliability.Seed = 9 },
+		"no rel":      func(r *Request) { r.Reliability = nil },
+	}
+	for name, mutate := range changes {
+		req := quickReq()
+		mutate(req)
+		if req.hash() == base {
+			t.Errorf("changing %s kept the cache key", name)
+		}
+	}
+}
+
+// An inline DAG and a generator spec are distinct key spaces even when
+// they denote the same graph; both must serve.
+func TestServeInlineDAG(t *testing.T) {
+	svc := New(Config{Workers: 1})
+	defer svc.Close()
+	g, err := gen.Spec{Kind: "montage", N: 4, Volume: 100}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := quickReq()
+	req.Generator = nil
+	req.DAG = g
+	raw, err := svc.Do(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inline := decodeResponse(t, raw)
+	raw2, err := svc.Do(context.Background(), quickReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	generated := decodeResponse(t, raw2)
+	if inline.Latency != generated.Latency || inline.Replicas != generated.Replicas {
+		t.Errorf("inline DAG scheduled differently from its generator spec: %+v vs %+v", inline, generated)
+	}
+}
+
+// Responses must be byte-identical across service instances and worker
+// counts — the serving analogue of the experiment engine's determinism
+// guarantee.
+func TestResponsesDeterministicAcrossWorkers(t *testing.T) {
+	var first []byte
+	for _, cfg := range []Config{
+		{Workers: 1, MCWorkers: 1},
+		{Workers: 8, MCWorkers: 4},
+	} {
+		svc := New(cfg)
+		raw, err := svc.Do(context.Background(), quickReq())
+		if err != nil {
+			svc.Close()
+			t.Fatal(err)
+		}
+		// A hit must return the same bytes as the original compute.
+		again, err := svc.Do(context.Background(), quickReq())
+		if err != nil {
+			svc.Close()
+			t.Fatal(err)
+		}
+		svc.Close()
+		if !bytes.Equal(raw, again) {
+			t.Fatal("cache hit returned different bytes than the compute")
+		}
+		if first == nil {
+			first = raw
+		} else if !bytes.Equal(first, raw) {
+			t.Fatalf("response differs across worker configs:\n%s\nvs\n%s", first, raw)
+		}
+	}
+}
+
+// Concurrent identical requests must collapse onto one compute: the
+// cache entry is created once, everyone else waits on it, and /statsz
+// observes exactly one miss.
+func TestSingleflightCollapse(t *testing.T) {
+	svc := New(Config{Workers: 4})
+	defer svc.Close()
+	const n = 32
+	var wg sync.WaitGroup
+	responses := make([][]byte, n)
+	errs := make([]error, n)
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			responses[i], errs[i] = svc.Do(context.Background(), quickReq())
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if !bytes.Equal(responses[0], responses[i]) {
+			t.Fatal("collapsed requests returned different bytes")
+		}
+	}
+	st := svc.Stats()
+	if st.Misses != 1 {
+		t.Errorf("%d computes for %d identical concurrent requests, want 1", st.Misses, n)
+	}
+	if st.Hits != n-1 {
+		t.Errorf("%d hits, want %d", st.Hits, n-1)
+	}
+	if st.HitRate <= 0 || st.CacheEntries != 1 {
+		t.Errorf("snapshot implausible: %+v", st)
+	}
+}
+
+// A bounded cache evicts completed entries instead of growing without
+// limit, and never evicts in-flight ones (waiters must resolve).
+func TestCacheEviction(t *testing.T) {
+	svc := New(Config{Workers: 1, CacheMax: 2})
+	defer svc.Close()
+	for seed := int64(1); seed <= 5; seed++ {
+		req := quickReq()
+		req.Reliability = nil
+		req.Seed = seed
+		if _, err := svc.Do(context.Background(), req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := svc.Stats().CacheEntries; n > 2 {
+		t.Errorf("cache holds %d entries, max 2", n)
+	}
+}
+
+// waitBusy blocks until the service reports n in-flight requests.
+func waitBusy(t *testing.T, svc *Service, n int64) {
+	t.Helper()
+	for i := 0; i < 2000; i++ {
+		if svc.Stats().InFlight >= n {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("service never became busy")
+}
+
+// slowReq returns a request whose Monte-Carlo stage keeps the single
+// worker busy long enough to observe queueing behavior.
+func slowReq() *Request {
+	req := quickReq()
+	req.Reliability.Samples = 1 << 18
+	return req
+}
+
+// A canceled caller abandons the wait, not the cache: cancellation
+// before the pool handoff removes the entry so the next identical
+// request retries and succeeds.
+func TestDoCancellation(t *testing.T) {
+	svc := New(Config{Workers: 1, MCWorkers: 1})
+	defer svc.Close()
+	done := make(chan error, 1)
+	go func() {
+		_, err := svc.Do(context.Background(), slowReq())
+		done <- err
+	}()
+	waitBusy(t, svc, 1)
+	time.Sleep(5 * time.Millisecond) // let the slow job reach the worker
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := svc.Do(ctx, quickReq()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled Do returned %v, want context.Canceled", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("slow request failed: %v", err)
+	}
+	// The abandoned key must not be poisoned.
+	if _, err := svc.Do(context.Background(), quickReq()); err != nil {
+		t.Fatalf("request after abandoned identical request failed: %v", err)
+	}
+}
+
+// Close racing a blocked pool handoff must not panic (the jobs channel
+// is never closed) and must fail the blocked request with ErrClosed.
+func TestCloseUnblocksPendingHandoff(t *testing.T) {
+	svc := New(Config{Workers: 1, MCWorkers: 1})
+	slow := make(chan error, 1)
+	go func() {
+		_, err := svc.Do(context.Background(), slowReq())
+		slow <- err
+	}()
+	waitBusy(t, svc, 1)
+	time.Sleep(5 * time.Millisecond)
+
+	blocked := make(chan error, 1)
+	go func() {
+		_, err := svc.Do(context.Background(), quickReq())
+		blocked <- err
+	}()
+	waitBusy(t, svc, 2)
+	svc.Close()
+	if err := <-blocked; !errors.Is(err, ErrClosed) {
+		t.Fatalf("blocked request returned %v, want ErrClosed", err)
+	}
+	// The in-flight compute was allowed to finish.
+	if err := <-slow; err != nil {
+		t.Fatalf("in-flight request failed across Close: %v", err)
+	}
+}
+
+// Deterministic compute failures are cached like responses: the second
+// identical request is a hit, not a recompute.
+func TestErrorsCached(t *testing.T) {
+	svc := New(Config{Workers: 1})
+	defer svc.Close()
+	req := quickReq()
+	req.Reliability = nil
+	// Valid spec whose build fails: explicit exec matrix of wrong shape
+	// (structural validation cannot see the generated task count).
+	req.Exec = [][]float64{{1, 1, 1, 1}}
+	if _, err := svc.Do(context.Background(), req); err == nil {
+		t.Fatal("mis-shaped exec matrix accepted")
+	}
+	if _, err := svc.Do(context.Background(), req); err == nil {
+		t.Fatal("cached failure turned into success")
+	}
+	st := svc.Stats()
+	if st.Misses != 1 || st.Hits != 1 || st.Failures != 2 {
+		t.Errorf("stats %+v: want 1 miss, 1 hit, 2 failures", st)
+	}
+}

@@ -1,0 +1,98 @@
+package service
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latWindow is the number of recent request latencies kept for the
+// quantile estimates — a fixed ring so recording stays allocation-free.
+const latWindow = 1024
+
+// stats holds the serving counters. Counter updates and latency
+// recording are allocation-free; snapshot (the /statsz path) copies and
+// sorts the latency window.
+type stats struct {
+	hits        atomic.Int64
+	misses      atomic.Int64
+	failures    atomic.Int64
+	badRequests atomic.Int64
+	inflight    atomic.Int64
+
+	mu  sync.Mutex
+	lat [latWindow]float64 // seconds, ring buffer
+	n   int                // total recorded
+}
+
+func (st *stats) record(d time.Duration) {
+	sec := d.Seconds()
+	st.mu.Lock()
+	st.lat[st.n%latWindow] = sec
+	st.n++
+	st.mu.Unlock()
+}
+
+// StatsSnapshot is the /statsz wire format.
+type StatsSnapshot struct {
+	// Hits counts requests answered from the cache, including those
+	// collapsed onto an in-flight identical request; Misses counts the
+	// requests that triggered a compute. Misses is therefore the number
+	// of scheduling runs performed.
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	// HitRate is Hits over Hits+Misses (0 before any request).
+	HitRate float64 `json:"hitRate"`
+	// Failures counts requests whose compute errored; BadRequests those
+	// rejected by validation before hashing.
+	Failures    int64 `json:"failures"`
+	BadRequests int64 `json:"badRequests"`
+	// InFlight is the number of requests currently being served
+	// (waiting included); CacheEntries the resident responses.
+	InFlight     int64 `json:"inFlight"`
+	CacheEntries int   `json:"cacheEntries"`
+	// P50Millis / P99Millis are request-latency quantiles over the last
+	// 1024 requests (hits and misses alike), in milliseconds.
+	P50Millis float64 `json:"p50Millis"`
+	P99Millis float64 `json:"p99Millis"`
+	// Workers is the configured compute-pool size.
+	Workers int `json:"workers"`
+}
+
+func (st *stats) snapshot(cacheEntries, workers int) StatsSnapshot {
+	s := StatsSnapshot{
+		Hits:         st.hits.Load(),
+		Misses:       st.misses.Load(),
+		Failures:     st.failures.Load(),
+		BadRequests:  st.badRequests.Load(),
+		InFlight:     st.inflight.Load(),
+		CacheEntries: cacheEntries,
+		Workers:      workers,
+	}
+	if total := s.Hits + s.Misses; total > 0 {
+		s.HitRate = float64(s.Hits) / float64(total)
+	}
+	st.mu.Lock()
+	n := st.n
+	if n > latWindow {
+		n = latWindow
+	}
+	window := append([]float64(nil), st.lat[:n]...)
+	st.mu.Unlock()
+	if n > 0 {
+		sort.Float64s(window)
+		s.P50Millis = 1e3 * quantile(window, 0.50)
+		s.P99Millis = 1e3 * quantile(window, 0.99)
+	}
+	return s
+}
+
+// quantile returns the q-quantile of sorted (nearest-rank).
+func quantile(sorted []float64, q float64) float64 {
+	i := int(q * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

@@ -231,8 +231,11 @@ func (g *Graph) Diameter() int {
 	return d
 }
 
-// Ring connects m processors in a cycle.
-func Ring(m int, delay float64) *Graph {
+// Ring connects m (>= 2) processors in a cycle.
+func Ring(m int, delay float64) (*Graph, error) {
+	if m < 2 {
+		return nil, fmt.Errorf("topology: ring needs at least 2 processors, got %d", m)
+	}
 	edges := make([]Edge, 0, m)
 	for i := 0; i < m; i++ {
 		edges = append(edges, Edge{A: i, B: (i + 1) % m, Delay: delay})
@@ -240,28 +243,28 @@ func Ring(m int, delay float64) *Graph {
 	if m == 2 {
 		edges = edges[:1]
 	}
-	g, err := New(m, edges)
-	if err != nil {
-		panic(err)
-	}
-	return g
+	return New(m, edges)
 }
 
-// Star connects every processor to processor 0 (the hub).
-func Star(m int, delay float64) *Graph {
+// Star connects every processor to processor 0 (the hub); m must be at
+// least 2.
+func Star(m int, delay float64) (*Graph, error) {
+	if m < 2 {
+		return nil, fmt.Errorf("topology: star needs at least 2 processors, got %d", m)
+	}
 	edges := make([]Edge, 0, m-1)
 	for i := 1; i < m; i++ {
 		edges = append(edges, Edge{A: 0, B: i, Delay: delay})
 	}
-	g, err := New(m, edges)
-	if err != nil {
-		panic(err)
-	}
-	return g
+	return New(m, edges)
 }
 
-// Mesh2D builds a rows x cols grid.
-func Mesh2D(rows, cols int, delay float64) *Graph {
+// Mesh2D builds a rows x cols grid; both dimensions must be positive
+// and the grid must hold at least 2 processors.
+func Mesh2D(rows, cols int, delay float64) (*Graph, error) {
+	if rows < 1 || cols < 1 || rows*cols < 2 {
+		return nil, fmt.Errorf("topology: invalid %dx%d mesh", rows, cols)
+	}
 	id := func(r, c int) int { return r*cols + c }
 	var edges []Edge
 	for r := 0; r < rows; r++ {
@@ -274,15 +277,16 @@ func Mesh2D(rows, cols int, delay float64) *Graph {
 			}
 		}
 	}
-	g, err := New(rows*cols, edges)
-	if err != nil {
-		panic(err)
-	}
-	return g
+	return New(rows*cols, edges)
 }
 
-// Torus2D builds a rows x cols grid with wraparound links.
-func Torus2D(rows, cols int, delay float64) *Graph {
+// Torus2D builds a rows x cols grid with wraparound links; both
+// dimensions must be positive and the grid must hold at least 2
+// processors.
+func Torus2D(rows, cols int, delay float64) (*Graph, error) {
+	if rows < 1 || cols < 1 || rows*cols < 2 {
+		return nil, fmt.Errorf("topology: invalid %dx%d torus", rows, cols)
+	}
 	id := func(r, c int) int { return r*cols + c }
 	seen := map[[2]int]bool{}
 	var edges []Edge
@@ -302,15 +306,15 @@ func Torus2D(rows, cols int, delay float64) *Graph {
 			addEdge(id(r, c), id((r+1)%rows, c))
 		}
 	}
-	g, err := New(rows*cols, edges)
-	if err != nil {
-		panic(err)
-	}
-	return g
+	return New(rows*cols, edges)
 }
 
-// Hypercube builds a k-dimensional hypercube over 2^k processors.
-func Hypercube(k int, delay float64) *Graph {
+// Hypercube builds a k-dimensional hypercube over 2^k processors;
+// k must be in [1, 20] (2 to ~1M processors).
+func Hypercube(k int, delay float64) (*Graph, error) {
+	if k < 1 || k > 20 {
+		return nil, fmt.Errorf("topology: hypercube dimension %d outside [1, 20]", k)
+	}
 	m := 1 << k
 	var edges []Edge
 	for i := 0; i < m; i++ {
@@ -321,16 +325,22 @@ func Hypercube(k int, delay float64) *Graph {
 			}
 		}
 	}
-	g, err := New(m, edges)
-	if err != nil {
-		panic(err)
-	}
-	return g
+	return New(m, edges)
 }
 
-// RandomConnected builds a random connected graph: a random spanning
-// tree plus extra random edges, with delays drawn from [lo, hi].
-func RandomConnected(rng *rand.Rand, m, extra int, lo, hi float64) *Graph {
+// RandomConnected builds a random connected graph over m (>= 2)
+// processors: a random spanning tree plus up to extra random edges,
+// with delays drawn from [lo, hi] (0 < lo <= hi).
+func RandomConnected(rng *rand.Rand, m, extra int, lo, hi float64) (*Graph, error) {
+	if m < 2 {
+		return nil, fmt.Errorf("topology: random graph needs at least 2 processors, got %d", m)
+	}
+	if extra < 0 {
+		return nil, fmt.Errorf("topology: negative extra edge count %d", extra)
+	}
+	if lo <= 0 || hi < lo {
+		return nil, fmt.Errorf("topology: invalid delay range [%v, %v]", lo, hi)
+	}
 	var edges []Edge
 	seen := map[[2]int]bool{}
 	addEdge := func(a, b int, d float64) bool {
@@ -359,11 +369,7 @@ func RandomConnected(rng *rand.Rand, m, extra int, lo, hi float64) *Graph {
 			added++
 		}
 	}
-	g, err := New(m, edges)
-	if err != nil {
-		panic(err)
-	}
-	return g
+	return New(m, edges)
 }
 
 func min(a, b int) int {

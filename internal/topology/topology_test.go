@@ -13,6 +13,40 @@ import (
 	"caft/internal/timeline"
 )
 
+// must unwraps a convenience-constructor result for the statically
+// valid shapes used across these tests.
+func must(g *Graph, err error) *Graph {
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// The convenience constructors must reject invalid sizes with an error
+// — like New — instead of panicking (they used to panic on the error
+// path of New, and nonsense sizes like Ring(1) only surfaced there).
+func TestConstructorsRejectInvalidSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cases := []struct {
+		shape string
+		build func() (*Graph, error)
+	}{
+		{"ring", func() (*Graph, error) { return Ring(1, 1) }},
+		{"star", func() (*Graph, error) { return Star(1, 1) }},
+		{"mesh", func() (*Graph, error) { return Mesh2D(0, 4, 1) }},
+		{"torus", func() (*Graph, error) { return Torus2D(2, 0, 1) }},
+		{"hypercube", func() (*Graph, error) { return Hypercube(0, 1) }},
+		{"random", func() (*Graph, error) { return RandomConnected(rng, 1, 2, 0.5, 1.0) }},
+		{"random-delay", func() (*Graph, error) { return RandomConnected(rng, 4, 2, 0, 1.0) }},
+	}
+	for _, c := range cases {
+		g, err := c.build()
+		if err == nil {
+			t.Errorf("%s: invalid size accepted (got %d-proc graph)", c.shape, g.NumProcs())
+		}
+	}
+}
+
 func TestNewValidation(t *testing.T) {
 	if _, err := New(0, nil); err == nil {
 		t.Error("accepted zero processors")
@@ -32,7 +66,7 @@ func TestNewValidation(t *testing.T) {
 }
 
 func TestRingRoutes(t *testing.T) {
-	g := Ring(6, 1)
+	g := must(Ring(6, 1))
 	if g.NumLinks() != 12 {
 		t.Fatalf("ring(6) links = %d, want 12", g.NumLinks())
 	}
@@ -52,14 +86,14 @@ func TestRingRoutes(t *testing.T) {
 }
 
 func TestRingTwoProcs(t *testing.T) {
-	g := Ring(2, 1)
+	g := must(Ring(2, 1))
 	if g.NumLinks() != 2 {
 		t.Fatalf("ring(2) links = %d, want 2 (no double edge)", g.NumLinks())
 	}
 }
 
 func TestStar(t *testing.T) {
-	g := Star(5, 0.5)
+	g := must(Star(5, 0.5))
 	// Leaf to leaf: 2 hops through the hub.
 	if len(g.Route(1, 4)) != 2 {
 		t.Errorf("route 1->4 = %d hops, want 2", len(g.Route(1, 4)))
@@ -76,7 +110,7 @@ func TestStar(t *testing.T) {
 }
 
 func TestMeshAndTorus(t *testing.T) {
-	mesh := Mesh2D(3, 3, 1)
+	mesh := must(Mesh2D(3, 3, 1))
 	if mesh.NumProcs() != 9 {
 		t.Fatalf("mesh procs = %d", mesh.NumProcs())
 	}
@@ -84,7 +118,7 @@ func TestMeshAndTorus(t *testing.T) {
 	if len(mesh.Route(0, 8)) != 4 {
 		t.Errorf("mesh corner route = %d hops, want 4", len(mesh.Route(0, 8)))
 	}
-	torus := Torus2D(3, 3, 1)
+	torus := must(Torus2D(3, 3, 1))
 	// Wraparound shortens: 0 to 8 is 2 hops ((0,0)->(2,0)->(2,2)).
 	if len(torus.Route(0, 8)) != 2 {
 		t.Errorf("torus corner route = %d hops, want 2", len(torus.Route(0, 8)))
@@ -95,7 +129,7 @@ func TestMeshAndTorus(t *testing.T) {
 }
 
 func TestHypercube(t *testing.T) {
-	g := Hypercube(3, 1)
+	g := must(Hypercube(3, 1))
 	if g.NumProcs() != 8 {
 		t.Fatalf("procs = %d", g.NumProcs())
 	}
@@ -115,7 +149,7 @@ func TestRandomConnectedProperties(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		m := 2 + rng.Intn(12)
-		g := RandomConnected(rng, m, rng.Intn(6), 0.5, 1.0)
+		g := must(RandomConnected(rng, m, rng.Intn(6), 0.5, 1.0))
 		// Connectivity: every pair has a route; durations positive and
 		// symmetric-ish in hop count.
 		for a := 0; a < m; a++ {
@@ -151,7 +185,7 @@ func TestRandomConnectedProperties(t *testing.T) {
 }
 
 func TestMeanUnitDelay(t *testing.T) {
-	g := Ring(4, 1)
+	g := must(Ring(4, 1))
 	// Ring(4): distances 1,2,1 from each node; mean = 4/3.
 	want := 4.0 / 3.0
 	if got := g.MeanUnitDelay(); got < want-1e-9 || got > want+1e-9 {
@@ -171,10 +205,10 @@ func TestMeanUnitDelay(t *testing.T) {
 func TestCAFTOnSparseTopologies(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	topos := map[string]*Graph{
-		"ring":      Ring(8, 0.75),
-		"star":      Star(8, 0.75),
-		"mesh":      Mesh2D(2, 4, 0.75),
-		"hypercube": Hypercube(3, 0.75),
+		"ring":      must(Ring(8, 0.75)),
+		"star":      must(Star(8, 0.75)),
+		"mesh":      must(Mesh2D(2, 4, 0.75)),
+		"hypercube": must(Hypercube(3, 0.75)),
 	}
 	for name, net := range topos {
 		m := net.NumProcs()
@@ -200,7 +234,7 @@ func TestCAFTOnSparseTopologies(t *testing.T) {
 // Shared links must serialize: on a star, two simultaneous leaf-to-leaf
 // transfers that share the hub's links cannot overlap.
 func TestStarLinkContention(t *testing.T) {
-	net := Star(5, 1)
+	net := must(Star(5, 1))
 	g := gen.Join(2, 4) // t0, t1 -> t2; W = 4 per hop => 8 leaf-to-leaf
 	plat := platform.New(5, 1)
 	exec := platform.NewExecMatrix(3, 5)
@@ -234,10 +268,10 @@ func TestRacksPartition(t *testing.T) {
 		g    *Graph
 		k    int
 	}{
-		{"ring", Ring(8, 1), 3},
-		{"mesh", Mesh2D(2, 3, 1), 2},
-		{"hypercube", Hypercube(3, 1), 4},
-		{"star-clamped", Star(4, 1), 9}, // k > m clamps to m
+		{"ring", must(Ring(8, 1)), 3},
+		{"mesh", must(Mesh2D(2, 3, 1)), 2},
+		{"hypercube", must(Hypercube(3, 1)), 4},
+		{"star-clamped", must(Star(4, 1)), 9}, // k > m clamps to m
 	} {
 		racks := tc.g.Racks(tc.k)
 		m := tc.g.NumProcs()
@@ -269,7 +303,7 @@ func TestRacksPartition(t *testing.T) {
 }
 
 func TestRacksDeterministic(t *testing.T) {
-	g := Torus2D(3, 3, 1)
+	g := must(Torus2D(3, 3, 1))
 	a, b := g.Racks(3), g.Racks(3)
 	for i := range a {
 		for j := range a[i] {
