@@ -14,6 +14,7 @@
 //	caftsim -figure sparse                       # sparse-topology extension (X1)
 //	caftsim -figure reliability                  # stochastic failure models (S4)
 //	caftsim -figure scale -graphs 3              # large-DAG scale study (S5)
+//	caftsim -figure online                       # static vs reactive vs hybrid fault tolerance (S7)
 //
 // The scale study sweeps v up to 3200 tasks and is the heaviest figure
 // by far: run it with a small -graphs value, and use -vmax to cap the
@@ -37,7 +38,7 @@ import (
 
 func main() {
 	var (
-		figure  = flag.String("figure", "1", "figure to regenerate: 1..6, optionally with panel suffix a/b/c; or all, messages, ablation, accuracy, sparse, reliability, scale")
+		figure  = flag.String("figure", "1", "figure to regenerate: 1..6, optionally with panel suffix a/b/c; or all, messages, ablation, accuracy, sparse, reliability, scale, online")
 		graphs  = flag.Int("graphs", 60, "random graphs per point (paper: 60; use ~3 for -figure scale)")
 		seed    = flag.Int64("seed", 1, "base PRNG seed")
 		plot    = flag.String("plot", "", "also write gnuplot data+script for figure and reliability runs into this directory")
@@ -82,6 +83,8 @@ func run(w io.Writer, figure string, graphs int, seed int64, plotDir string, wor
 		return runReliability(w, graphs, seed, plotDir, workers)
 	case "scale":
 		return runScale(w, graphs, seed, workers, vmax)
+	case "online":
+		return runOnline(w, graphs, seed, workers)
 	}
 	panel := ""
 	num := figure
@@ -116,6 +119,17 @@ func runReliability(w io.Writer, graphs int, seed int64, plotDir string, workers
 		}
 	}
 	fmt.Fprintf(os.Stderr, "# reliability: elapsed %s\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// runOnline writes the static vs reactive vs hybrid fault-tolerance
+// comparison (event-driven online replay with runtime re-mapping).
+func runOnline(w io.Writer, graphs int, seed int64, workers int) error {
+	start := time.Now()
+	if _, err := expt.RunOnline(w, graphs, seed, workers); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "# online: elapsed %s\n", time.Since(start).Round(time.Millisecond))
 	return nil
 }
 

@@ -90,6 +90,7 @@ func TestGoldenOutput(t *testing.T) {
 		// The scale sweep is capped at v=400 to stay affordable in CI
 		// while still crossing the paper's v in [80,120] regime.
 		{"scale_g2_v400_seed1.tsv", "scale", 2, 400},
+		{"online_g2_seed1.tsv", "online", 2, 3200},
 	}
 	for _, c := range cases {
 		t.Run(c.figure, func(t *testing.T) {

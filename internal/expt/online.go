@@ -1,0 +1,280 @@
+package expt
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+
+	"caft/internal/core"
+	"caft/internal/failure"
+	"caft/internal/gen"
+	"caft/internal/online"
+	"caft/internal/sched"
+	"caft/internal/sched/heft"
+	"caft/internal/sim"
+	"caft/internal/timeline"
+)
+
+// The online experiment compares three fault-tolerance strategies under
+// the event-driven causal execution engine (package online, DESIGN.md
+// S7) across the same MTBF sweep as the reliability figure:
+//
+//   - static:   CAFT at ε=1 — replication only; crashes kill work and
+//               whatever replication cannot absorb is lost.
+//   - reactive: unreplicated HEFT plus runtime re-mapping — every crash
+//               triggers the rescheduler, lost work moves to survivors.
+//   - hybrid:   CAFT at ε=1 plus runtime re-mapping — replication
+//               absorbs the first failures instantly, re-mapping
+//               restores coverage for the next ones.
+//
+// Every sampled failure trace is replayed under all three strategies
+// (common random numbers), tallying the achieved makespan over
+// completed runs, the fraction of runs losing a task, and the mean
+// number of reactive re-placements.
+
+// OnlineStrategies names the strategy columns in order.
+var OnlineStrategies = [3]string{"static", "reactive", "hybrid"}
+
+// onlineSamples is the number of failure traces sampled per
+// (cell, graph) work unit.
+const onlineSamples = 20
+
+// OnlinePoint is one averaged row of the online comparison table.
+type OnlinePoint struct {
+	Label string
+	Mult  float64
+
+	// Lat is the mean normalized makespan over completed runs per
+	// strategy (OnlineStrategies order); NaN when none completed.
+	Lat [3]float64
+	// Unrel is the fraction of runs that lost a task.
+	Unrel [3]float64
+	// Resched is the mean number of reactive placements per run (always
+	// zero for the static strategy).
+	Resched [3]float64
+	// Draws counts evaluated runs per strategy; ReplayErrors counts
+	// engine failures (excluded, never blamed on a strategy).
+	Draws        [3]int
+	ReplayErrors int
+}
+
+type onlineUnit struct {
+	latSum   [3]float64
+	survived [3]int
+	lost     [3]int
+	resched  [3]int
+	errs     int
+}
+
+// runOnlineUnit generates one instance, schedules it with HEFT (ε=0)
+// and CAFT (ε=1), and replays the same sampled failure traces through
+// the three strategies.
+func runOnlineUnit(rng *rand.Rand, mult float64) (onlineUnit, error) {
+	var out onlineUnit
+	const m = 10
+	cfg := Config{M: m, Params: gen.DefaultParams, DelayLo: 0.5, DelayHi: 1.0, Model: sched.OnePort, Policy: timeline.Append}
+	inst := cfg.GenInstance(rng, 1.0)
+	p := inst.P
+
+	sHEFT, err := heft.Schedule(p, rng)
+	if err != nil {
+		return out, err
+	}
+	T := sHEFT.ScheduledLatency()
+	sCA, err := core.Schedule(p, 1, rng)
+	if err != nil {
+		return out, err
+	}
+	engHEFT, err := online.NewEngine(sHEFT)
+	if err != nil {
+		return out, err
+	}
+	engCA, err := online.NewEngine(sCA)
+	if err != nil {
+		return out, err
+	}
+	model := &failure.Exponential{MTBF: failure.UniformMTBF(rng, m, 0.75*mult*T, 1.25*mult*T)}
+
+	runs := [3]struct {
+		eng *online.Engine
+		opt online.Options
+	}{
+		{engCA, online.Options{}},
+		{engHEFT, online.Options{Reschedule: true}},
+		{engCA, online.Options{Reschedule: true}},
+	}
+	trace := map[int]float64{}
+	for draw := 0; draw < onlineSamples; draw++ {
+		trace = model.Sample(rng, trace)
+		for k, run := range runs {
+			lat, resched, err := run.eng.Makespan(trace, run.opt)
+			switch {
+			case errors.Is(err, sim.ErrTaskLost) || math.IsInf(lat, 1):
+				out.lost[k]++
+			case err != nil:
+				out.errs++
+			default:
+				out.survived[k]++
+				out.latSum[k] += lat / DefaultNorm
+				out.resched[k] += resched
+			}
+		}
+	}
+	return out, nil
+}
+
+// RunOnline sweeps the MTBF multipliers and writes the static vs
+// reactive vs hybrid comparison as TSV on the deterministic work-unit
+// pool: output is byte-identical for any worker count.
+func RunOnline(w io.Writer, graphs int, seed int64, workers int) ([]OnlinePoint, error) {
+	if graphs < 0 {
+		return nil, fmt.Errorf("expt: negative graph count %d", graphs)
+	}
+	mults := reliabilityMults
+	units, err := runUnits(workers, len(mults)*graphs, func(u int) (onlineUnit, error) {
+		cell, gi := u/graphs, u%graphs
+		rng := rand.New(rand.NewSource(unitSeed(seed, cell, gi)))
+		return runOnlineUnit(rng, mults[cell])
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	points := make([]OnlinePoint, len(mults))
+	for cell, mult := range mults {
+		pt := OnlinePoint{Label: fmt.Sprintf("%g", mult), Mult: mult}
+		for _, u := range units[cell*graphs : (cell+1)*graphs] {
+			for k := range OnlineStrategies {
+				pt.Lat[k] += u.latSum[k]
+				pt.Unrel[k] += float64(u.lost[k])
+				pt.Resched[k] += float64(u.resched[k])
+				pt.Draws[k] += u.survived[k] + u.lost[k]
+			}
+			pt.ReplayErrors += u.errs
+		}
+		for k := range OnlineStrategies {
+			if survived := pt.Draws[k] - int(pt.Unrel[k]); survived > 0 {
+				pt.Lat[k] /= float64(survived)
+				pt.Resched[k] /= float64(survived)
+			} else {
+				pt.Lat[k] = math.NaN()
+				pt.Resched[k] = math.NaN()
+			}
+			if pt.Draws[k] > 0 {
+				pt.Unrel[k] /= float64(pt.Draws[k])
+			} else {
+				pt.Unrel[k] = math.NaN()
+			}
+		}
+		points[cell] = pt
+	}
+
+	fmt.Fprintf(w, "# online: m=10 eps=1 g=1.0 graphs/point=%d samples/graph=%d seed=%d\n", graphs, onlineSamples, seed)
+	fmt.Fprintln(w, "# static: CAFT eps=1 replication only; reactive: HEFT + runtime re-mapping; hybrid: CAFT eps=1 + re-mapping")
+	fmt.Fprintln(w, "# makespan: mean normalized completion over completed runs; unrel: fraction of runs losing a task; remap: mean reactive placements per completed run")
+	fmt.Fprintln(w, "mtbf/T\tstatic\tstatic-unrel\treactive\treactive-unrel\treactive-remap\thybrid\thybrid-unrel\thybrid-remap")
+	for _, pt := range points {
+		row := pt.Label
+		for k := range OnlineStrategies {
+			row += "\t" + onlineCol(pt.Lat[k], 2) + "\t" + onlineCol(pt.Unrel[k], 3)
+			if k > 0 {
+				row += "\t" + onlineCol(pt.Resched[k], 2)
+			}
+		}
+		fmt.Fprintln(w, row)
+	}
+	errs := 0
+	for _, pt := range points {
+		errs += pt.ReplayErrors
+	}
+	if errs > 0 {
+		fmt.Fprintf(w, "# %d online replay(s) failed to evaluate and were excluded\n", errs)
+	}
+	return points, nil
+}
+
+func onlineCol(v float64, prec int) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	return fmt.Sprintf("%.*f", prec, v)
+}
+
+// OnlineTally is the outcome of EstimateOnline: the achieved makespans
+// of the completed runs (in draw order), plus loss and re-placement
+// accounting.
+type OnlineTally struct {
+	// Makespans holds the absolute achieved makespan of every completed
+	// run, in draw order.
+	Makespans []float64
+	// Lost counts runs in which a task never completed.
+	Lost int
+	// Rescheduled sums reactive placements over completed runs.
+	Rescheduled int
+	// ReplayErrors counts engine failures, excluded from the estimates.
+	ReplayErrors int
+}
+
+// onlineBatch is the work-unit grain of EstimateOnline, mirroring
+// EstimateReliability's batching.
+const onlineBatch = 64
+
+// EstimateOnline replays `samples` failure traces drawn from model
+// through the online engine and tallies the makespan distribution.
+// Batches run on the deterministic work-unit pool — batch i draws from
+// unitSeed(seed, 0, i) and results merge in draw order — so the tally
+// is a pure function of (schedule, model, samples, seed, reschedule)
+// for any worker count. The model must be stateless across Sample
+// calls (failure.Trace is not).
+func EstimateOnline(s *sched.Schedule, model failure.Model, samples int, seed int64, workers int, reschedule bool) (OnlineTally, error) {
+	if samples < 0 {
+		return OnlineTally{}, fmt.Errorf("expt: negative sample count %d", samples)
+	}
+	type batch struct {
+		makespans []float64
+		lost      int
+		resched   int
+		errs      int
+	}
+	nBatches := (samples + onlineBatch - 1) / onlineBatch
+	batches, err := runUnits(workers, nBatches, func(u int) (batch, error) {
+		var b batch
+		eng, err := online.NewEngine(s)
+		if err != nil {
+			return b, err
+		}
+		n := onlineBatch
+		if u == nBatches-1 {
+			n = samples - u*onlineBatch
+		}
+		rng := rand.New(rand.NewSource(unitSeed(seed, 0, u)))
+		trace := map[int]float64{}
+		for draw := 0; draw < n; draw++ {
+			trace = model.Sample(rng, trace)
+			lat, resched, err := eng.Makespan(trace, online.Options{Reschedule: reschedule})
+			switch {
+			case errors.Is(err, sim.ErrTaskLost) || math.IsInf(lat, 1):
+				b.lost++
+			case err != nil:
+				b.errs++
+			default:
+				b.makespans = append(b.makespans, lat)
+				b.resched += resched
+			}
+		}
+		return b, nil
+	})
+	if err != nil {
+		return OnlineTally{}, err
+	}
+	var out OnlineTally
+	for _, b := range batches {
+		out.Makespans = append(out.Makespans, b.makespans...)
+		out.Lost += b.lost
+		out.Rescheduled += b.resched
+		out.ReplayErrors += b.errs
+	}
+	return out, nil
+}

@@ -1,0 +1,105 @@
+package expt
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"caft/internal/failure"
+	"caft/internal/gen"
+	"caft/internal/platform"
+	"caft/internal/sched"
+	"caft/internal/sched/heft"
+	"caft/internal/timeline"
+)
+
+// TestRunOnlineDeterministicAcrossWorkers pins the online comparison's
+// work-unit determinism: identical bytes for any worker count.
+func TestRunOnlineDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("online sweep in -short mode")
+	}
+	var first []byte
+	for _, workers := range []int{1, 4} {
+		var buf bytes.Buffer
+		if _, err := RunOnline(&buf, 2, 7, workers); err != nil {
+			t.Fatal(err)
+		}
+		if first == nil {
+			first = buf.Bytes()
+		} else if !bytes.Equal(first, buf.Bytes()) {
+			t.Fatal("online output differs between 1 and 4 workers")
+		}
+	}
+}
+
+// TestRunOnlineShape checks the structural expectations of one small
+// run: every point carries all three strategies, the static strategy
+// never re-places work, and the reactive strategies lose no more runs
+// than replication alone at every MTBF level.
+func TestRunOnlineShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("online sweep in -short mode")
+	}
+	var buf bytes.Buffer
+	points, err := RunOnline(&buf, 2, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) == 0 {
+		t.Fatal("no points")
+	}
+	for _, pt := range points {
+		if !math.IsNaN(pt.Resched[0]) && pt.Resched[0] != 0 {
+			t.Fatalf("mult %v: static strategy re-placed %v replicas", pt.Mult, pt.Resched[0])
+		}
+		for k, draws := range pt.Draws {
+			if draws == 0 {
+				t.Fatalf("mult %v: strategy %s evaluated no draws", pt.Mult, OnlineStrategies[k])
+			}
+		}
+	}
+}
+
+// TestEstimateOnlineDeterministicAcrossWorkers pins the service-facing
+// Monte-Carlo core: same tally for any worker count, and spanning
+// multiple batches.
+func TestEstimateOnlineDeterministicAcrossWorkers(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	params := gen.RandomParams{MinTasks: 20, MaxTasks: 20, MinDegree: 1, MaxDegree: 3, MinVolume: 50, MaxVolume: 150}
+	g := gen.RandomLayered(rng, params)
+	plat := platform.NewRandom(rng, 5, 0.5, 1.0)
+	exec := platform.GenExecForGranularity(rng, g, plat, 1.0, platform.DefaultHeterogeneity)
+	p := &sched.Problem{G: g, Plat: plat, Exec: exec, Model: sched.OnePort, Policy: timeline.Append}
+	s, err := heft.Schedule(p, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := &failure.Exponential{MTBF: failure.UniformMTBF(rng, 5, 4*s.ScheduledLatency(), 8*s.ScheduledLatency())}
+	const samples = 150 // spans three batches
+	base, err := EstimateOnline(s, model, samples, 11, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(base.Makespans) + base.Lost + base.ReplayErrors; got != samples {
+		t.Fatalf("accounted %d of %d samples", got, samples)
+	}
+	for _, workers := range []int{2, 8} {
+		again, err := EstimateOnline(s, model, samples, 11, workers, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again.Lost != base.Lost || again.Rescheduled != base.Rescheduled || again.ReplayErrors != base.ReplayErrors {
+			t.Fatalf("workers=%d: tally diverged: %+v vs %+v", workers, again, base)
+		}
+		if len(again.Makespans) != len(base.Makespans) {
+			t.Fatalf("workers=%d: %d makespans vs %d", workers, len(again.Makespans), len(base.Makespans))
+		}
+		for i := range base.Makespans {
+			if again.Makespans[i] != base.Makespans[i] {
+				t.Fatalf("workers=%d: makespan %d diverged", workers, i)
+			}
+		}
+	}
+}

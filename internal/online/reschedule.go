@@ -1,0 +1,216 @@
+package online
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"caft/internal/dag"
+	"caft/internal/sched"
+)
+
+// reschedule is the reactive re-mapper, run after the death cascade of
+// a crash at tau. It cancels the reservations of everything that just
+// died (journaled — the enclosing Speculate scope restores the state
+// after the replay), computes the set of tasks that must be (re-)
+// executed, and places one new replica per task on the surviving
+// processors with minimum-finish probes, in topological order so that
+// re-executed predecessors feed re-executed successors.
+//
+// A task needs re-execution when it has neither a live replica nor a
+// finished replica whose data is still reachable (its processor alive).
+// The closure extends upward: a predecessor whose result exists only on
+// crashed processors must be recomputed before its consumer can be fed.
+// Re-executing an already-completed task does not move its completion
+// time — the task was computed when its first replica finished — it
+// only regenerates the data later consumers read.
+//
+// The crash path may allocate; only the no-crash steady state is pinned
+// allocation-free.
+func (e *Engine) reschedule(tau float64) error {
+	for _, i := range e.deadList {
+		o := &e.ops[i]
+		var err error
+		if o.kind == opRep {
+			err = e.st.CancelReplica(o.rep)
+		} else {
+			err = e.st.CancelComm(o.comm)
+		}
+		if err != nil {
+			return fmt.Errorf("online: cancel at tau=%v: %w", tau, err)
+		}
+	}
+
+	// Lost tasks, then the upward data-availability closure.
+	for t := range e.inNeed {
+		e.inNeed[t] = false
+	}
+	e.needList = e.needList[:0]
+	for t := range e.taskDone {
+		if !e.taskDone[t] && !e.hasLive(dag.TaskID(t)) && !e.unrecover[t] {
+			e.inNeed[t] = true
+			e.needList = append(e.needList, int32(t))
+		}
+	}
+	for k := 0; k < len(e.needList); k++ {
+		t := dag.TaskID(e.needList[k])
+		for _, edge := range e.g.Pred(t) {
+			p := edge.From
+			if e.inNeed[p] || e.unrecover[p] || e.hasData(p) {
+				continue
+			}
+			e.inNeed[p] = true
+			e.needList = append(e.needList, int32(p))
+		}
+	}
+	sort.Slice(e.needList, func(a, b int) bool {
+		return e.topoIdx[e.needList[a]] < e.topoIdx[e.needList[b]]
+	})
+
+	e.st.SetFloor(tau)
+	defer e.st.SetFloor(0)
+	for _, t := range e.needList {
+		if err := e.placeReactive(dag.TaskID(t), tau); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// hasLive reports whether t has a replica still pending or running.
+func (e *Engine) hasLive(t dag.TaskID) bool {
+	for _, i := range e.taskOps[t] {
+		if st := e.ops[i].state; st == opPending || st == opRunning {
+			return true
+		}
+	}
+	return false
+}
+
+// hasData reports whether t's result is (or will be) available to new
+// consumers: a finished replica on a surviving processor, or a live
+// replica.
+func (e *Engine) hasData(t dag.TaskID) bool {
+	for _, i := range e.taskOps[t] {
+		o := &e.ops[i]
+		if o.state == opDone && !e.procDead[o.rep.Proc] {
+			return true
+		}
+	}
+	return e.hasLive(t)
+}
+
+// placeReactive places one new replica of t on the surviving processor
+// giving the earliest finish, then wires the placement into the event
+// tables. A task with no reachable source for some predecessor, or no
+// feasible processor, is marked unrecoverable and stays lost.
+func (e *Engine) placeReactive(t dag.TaskID, tau float64) error {
+	preds := e.g.Pred(t)
+	sets := make([]sched.SourceSet, 0, len(preds))
+	for _, edge := range preds {
+		var srcs []sched.Replica
+		for _, r := range e.st.Reps[edge.From] {
+			if !e.procDead[r.Proc] {
+				srcs = append(srcs, r)
+			}
+		}
+		if len(srcs) == 0 {
+			e.unrecover[t] = true
+			return nil
+		}
+		sets = append(sets, sched.SourceSet{Pred: edge.From, Volume: edge.Volume, Sources: srcs})
+	}
+	copyIdx := int(e.nextCopy[t])
+	bestProc, bestFin := -1, math.Inf(1)
+	for proc := 0; proc < e.m; proc++ {
+		if e.procDead[proc] {
+			continue
+		}
+		rep, err := e.st.ProbeReplica(t, copyIdx, proc, sets)
+		if err != nil {
+			continue
+		}
+		if rep.Finish < bestFin {
+			bestProc, bestFin = proc, rep.Finish
+		}
+	}
+	if bestProc < 0 {
+		e.unrecover[t] = true
+		return nil
+	}
+	e.nextCopy[t]++
+	commsBefore := len(e.st.Comms)
+	rep, err := e.st.PlaceReplica(t, copyIdx, bestProc, sets)
+	if err != nil {
+		return fmt.Errorf("online: reactive placement of task %d: %w", t, err)
+	}
+	e.wire(t, rep, e.st.Comms[commsBefore:], tau)
+	e.rescheduled++
+	return nil
+}
+
+// wire appends the reactive placement — its input transfers first, then
+// the replica — to the event tables and registers every constraint.
+// All new operations carry minStart = tau: a reactive placement cannot
+// occupy resources before the crash that triggered it was observed.
+func (e *Engine) wire(t dag.TaskID, rep sched.Replica, newComms []sched.Comm, tau float64) {
+	preds := e.g.Pred(t)
+	repIdx := int32(len(e.ops) + len(newComms))
+	slotBase := int32(len(e.slotOf))
+	for range preds {
+		e.slotOf = append(e.slotOf, repIdx)
+		e.slotInit = append(e.slotInit, 0)
+		e.slotLeft = append(e.slotLeft, 0)
+		e.slotDone = append(e.slotDone, false)
+	}
+	for _, c := range newComms {
+		ci := int32(len(e.ops))
+		o := op{kind: opComm, state: opPending, reactive: true, comm: c, dur: c.Dur, seq: c.Seq, minStart: tau, placedAt: tau}
+		o.src = e.lookup(c.From, c.SrcCopy)
+		o.feedBase = int32(len(e.feedAdj))
+		for j, edge := range preds {
+			if edge.From == c.From {
+				slot := slotBase + int32(j)
+				e.feedAdj = append(e.feedAdj, slot)
+				e.slotLeft[slot]++
+			}
+		}
+		o.nFeeds = int32(len(e.feedAdj)) - o.feedBase
+		o.resBase = int32(len(e.resIDs))
+		if !c.Intra && !e.macro {
+			e.resIDs = append(e.resIDs, int32(e.sendID(c.SrcProc)), int32(e.recvID(c.DstProc)))
+			for _, l := range e.net.Route(c.SrcProc, c.DstProc) {
+				e.resIDs = append(e.resIDs, int32(e.linkID(l)))
+			}
+		}
+		o.nRes = int32(len(e.resIDs)) - o.resBase
+		o.waits = o.nRes + 1
+		e.ops = append(e.ops, o)
+		e.out = append(e.out, nil)
+		// Register: the source constraint resolves against the executed
+		// finish when the source already ran; otherwise it resolves on
+		// the source's completion event.
+		src := &e.ops[o.src]
+		if src.state == opDone {
+			e.resolve(ci, src.finish)
+		} else {
+			e.out[o.src] = append(e.out[o.src], ci)
+		}
+		oo := &e.ops[ci]
+		for k := oo.resBase; k < oo.resBase+oo.nRes; k++ {
+			e.addMember(e.resIDs[k], ci)
+		}
+	}
+	o := op{kind: opRep, state: opPending, reactive: true, task: t, rep: rep, dur: rep.Finish - rep.Start, seq: rep.Seq, src: noOp, minStart: tau, placedAt: tau}
+	o.slotBase = slotBase
+	o.nSlots = int32(len(preds))
+	o.resBase = int32(len(e.resIDs))
+	e.resIDs = append(e.resIDs, int32(e.computeID(rep.Proc)))
+	o.nRes = 1
+	o.waits = o.nRes + o.nSlots
+	e.ops = append(e.ops, o)
+	e.out = append(e.out, nil)
+	e.taskOps[t] = append(e.taskOps[t], repIdx)
+	e.repOf[t] = append(e.repOf[t], repIdx)
+	e.addMember(int32(e.computeID(rep.Proc)), repIdx)
+}

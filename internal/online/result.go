@@ -1,0 +1,159 @@
+package online
+
+import (
+	"fmt"
+	"math"
+
+	"caft/internal/dag"
+	"caft/internal/sched"
+	"caft/internal/sim"
+)
+
+// Options configures one replay.
+type Options struct {
+	// Reschedule enables the reactive re-mapper: on each crash, lost and
+	// unstarted work is cancelled and re-placed onto the surviving
+	// processors. False replays the static schedule's fate — losses are
+	// reported, nothing moves.
+	Reschedule bool
+}
+
+// RepOutcome is the executed fate of one replica. For Alive (finished)
+// replicas Start/Finish are the executed times; for dead replicas that
+// had started before the crash they record the aborted attempt, and
+// for never-started work they are zero.
+type RepOutcome struct {
+	Rep      sched.Replica
+	Alive    bool
+	Reactive bool    // placed by the rescheduler at runtime
+	PlacedAt float64 // reactive replicas: the crash instant that placed them
+	Start    float64
+	Finish   float64
+}
+
+// CommOutcome is the executed fate of one communication.
+type CommOutcome struct {
+	Comm     sched.Comm
+	Alive    bool
+	Reactive bool
+	Start    float64
+	Finish   float64
+}
+
+// Result holds the executed times of every operation of one replay.
+// Reps is indexed by task; each task lists its original replicas in
+// schedule order followed by any reactive replicas in placement order.
+// Comms lists the original communications in schedule order followed by
+// reactive transfers.
+type Result struct {
+	Reps  [][]RepOutcome
+	Comms []CommOutcome
+	// TasksLost lists tasks that never completed any replica (possible
+	// without rescheduling, or when crashes exhaust the platform).
+	TasksLost []dag.TaskID
+	// Rescheduled counts reactively placed replicas.
+	Rescheduled int
+	// Crashes is the number of failure-trace events processed; Events
+	// the number of completion events.
+	Crashes int
+	Events  int
+}
+
+// Latency returns the latest time at which at least one replica of each
+// task has been computed, or an error satisfying errors.Is(err,
+// sim.ErrTaskLost) naming a lost task.
+func (r *Result) Latency() (float64, error) {
+	if len(r.TasksLost) > 0 {
+		return math.Inf(1), fmt.Errorf("online: task %d lost (no surviving replica): %w", r.TasksLost[0], sim.ErrTaskLost)
+	}
+	lat := 0.0
+	for t := range r.Reps {
+		min := math.Inf(1)
+		for _, o := range r.Reps[t] {
+			if o.Alive && o.Finish < min {
+				min = o.Finish
+			}
+		}
+		if min > lat {
+			lat = min
+		}
+	}
+	return lat, nil
+}
+
+// replay resets the engine, loads the trace and runs the event loop.
+// With rescheduling enabled the whole run executes inside one
+// speculation scope on the rebuilt state, so cancellations and reactive
+// placements roll back and the engine is pristine for the next replay.
+func (e *Engine) replay(trace map[int]float64, opt Options) error {
+	e.reset(trace)
+	e.opt = opt
+	if opt.Reschedule {
+		return e.st.Speculate(e.body)
+	}
+	return e.exec()
+}
+
+// Run replays the schedule against a failure trace (processor -> crash
+// instant; processors absent from the map never fail, and entries
+// outside [0, m) are ignored, matching sim's crash-set handling) and
+// materializes the full outcome. An empty trace reproduces
+// sim.Replayer's no-crash replay bit for bit.
+func (e *Engine) Run(trace map[int]float64, opt Options) (*Result, error) {
+	if err := e.replay(trace, opt); err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Reps:        make([][]RepOutcome, len(e.taskOps)),
+		Comms:       make([]CommOutcome, 0, len(e.ops)-e.s.ReplicaCount()),
+		Rescheduled: e.rescheduled,
+		Crashes:     len(e.crashes),
+		Events:      e.events,
+	}
+	for t := range e.taskOps {
+		res.Reps[t] = make([]RepOutcome, 0, len(e.taskOps[t]))
+		for _, i := range e.taskOps[t] {
+			o := &e.ops[i]
+			res.Reps[t] = append(res.Reps[t], RepOutcome{
+				Rep: o.rep, Alive: o.state == opDone, Reactive: o.reactive,
+				PlacedAt: o.placedAt, Start: o.start, Finish: o.finish,
+			})
+		}
+		if !e.taskDone[t] {
+			res.TasksLost = append(res.TasksLost, dag.TaskID(t))
+		}
+	}
+	for i := range e.ops {
+		o := &e.ops[i]
+		if o.kind != opComm {
+			continue
+		}
+		res.Comms = append(res.Comms, CommOutcome{
+			Comm: o.comm, Alive: o.state == opDone, Reactive: o.reactive,
+			Start: o.start, Finish: o.finish,
+		})
+	}
+	return res, nil
+}
+
+// Makespan replays the trace and returns the achieved latency (the
+// completion time of the last task, by its earliest finished replica)
+// and the number of reactively placed replicas, without materializing a
+// Result — the Monte-Carlo entry point; a steady-state no-crash call
+// allocates nothing. A task that never completes reports an error
+// satisfying errors.Is(err, sim.ErrTaskLost).
+func (e *Engine) Makespan(trace map[int]float64, opt Options) (float64, int, error) {
+	if err := e.replay(trace, opt); err != nil {
+		return 0, 0, err
+	}
+	lat := 0.0
+	for t := range e.taskDone {
+		if !e.taskDone[t] {
+			return math.Inf(1), e.rescheduled, fmt.Errorf("online: task %d lost (no surviving replica): %w", t, sim.ErrTaskLost)
+		}
+		if e.taskFinish[t] > lat {
+			lat = e.taskFinish[t]
+		}
+	}
+	return lat, e.rescheduled, nil
+}

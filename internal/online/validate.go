@@ -1,0 +1,202 @@
+package online
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"caft/internal/dag"
+	"caft/internal/sched"
+	"caft/internal/timeline"
+)
+
+// Validate checks an executed replay against the problem and the
+// failure trace it ran under:
+//
+//   - every task either completed at least one replica or is listed in
+//     TasksLost (exactly one of the two);
+//   - finished replicas have the right duration, occupy pairwise
+//     distinct processors per task, and beat their processor's crash
+//     instant; reactive replicas never start before the crash that
+//     placed them, and never on an already-crashed processor;
+//   - precedence holds on executed times: every finished replica has,
+//     for each predecessor, a finished input transfer arriving by its
+//     start; every finished transfer starts at or after its finished
+//     source replica and beats both endpoints' crash instants;
+//   - resource exclusivity holds on executed times: per-processor
+//     executions never overlap and, under the one-port model, neither
+//     do the send-port, receive-port and link occupations.
+//
+// The fuzz harness drives this against random crash sequences; the
+// engine must produce validator-clean output for every trace.
+func Validate(p *sched.Problem, res *Result, trace map[int]float64) error {
+	g := p.G
+	if len(res.Reps) != g.NumTasks() {
+		return fmt.Errorf("online: %d tasks recorded, want %d", len(res.Reps), g.NumTasks())
+	}
+	crashAt := func(proc int) float64 {
+		if tau, ok := trace[proc]; ok {
+			return tau
+		}
+		return math.Inf(1)
+	}
+	lost := map[dag.TaskID]bool{}
+	for _, t := range res.TasksLost {
+		lost[t] = true
+	}
+
+	// Replica checks + per-task completion accounting.
+	for t := range res.Reps {
+		seen := map[int]bool{}
+		completed := false
+		for _, o := range res.Reps[t] {
+			if !o.Alive {
+				continue
+			}
+			completed = true
+			r := o.Rep
+			if seen[r.Proc] {
+				return fmt.Errorf("online: task %d finished two replicas on P%d", t, r.Proc)
+			}
+			seen[r.Proc] = true
+			want := p.Exec[t][r.Proc]
+			if math.Abs((o.Finish-o.Start)-want) > sched.Eps {
+				return fmt.Errorf("online: replica (%d,%d) executed %v, want %v", t, r.Copy, o.Finish-o.Start, want)
+			}
+			if o.Finish > crashAt(r.Proc)+sched.Eps {
+				return fmt.Errorf("online: replica (%d,%d) finished at %v on P%d, which crashed at %v", t, r.Copy, o.Finish, r.Proc, crashAt(r.Proc))
+			}
+			if o.Reactive {
+				if o.Start < o.PlacedAt-sched.Eps {
+					return fmt.Errorf("online: reactive replica (%d,%d) starts at %v before its crash at %v", t, r.Copy, o.Start, o.PlacedAt)
+				}
+				if crashAt(r.Proc) <= o.PlacedAt {
+					return fmt.Errorf("online: reactive replica (%d,%d) placed on P%d, already dead at %v", t, r.Copy, r.Proc, o.PlacedAt)
+				}
+			}
+		}
+		if completed == lost[dag.TaskID(t)] {
+			return fmt.Errorf("online: task %d completed=%v but lost=%v", t, completed, lost[dag.TaskID(t)])
+		}
+	}
+
+	// Finished-replica index for transfer endpoint checks.
+	type key struct {
+		t    dag.TaskID
+		copy int
+	}
+	finished := map[key]RepOutcome{}
+	for t := range res.Reps {
+		for _, o := range res.Reps[t] {
+			if o.Alive {
+				finished[key{dag.TaskID(t), o.Rep.Copy}] = o
+			}
+		}
+	}
+
+	// Transfer checks + arrival index per destination replica.
+	arrivals := map[key]map[dag.TaskID]float64{}
+	for i, o := range res.Comms {
+		if !o.Alive {
+			continue
+		}
+		c := o.Comm
+		src, ok := finished[key{c.From, c.SrcCopy}]
+		if !ok {
+			return fmt.Errorf("online: comm %d delivered from unfinished replica (%d,%d)", i, c.From, c.SrcCopy)
+		}
+		if src.Rep.Proc != c.SrcProc {
+			return fmt.Errorf("online: comm %d source processor mismatch", i)
+		}
+		if o.Start < src.Finish-sched.Eps {
+			return fmt.Errorf("online: comm %d starts at %v before source finish %v", i, o.Start, src.Finish)
+		}
+		if o.Finish > crashAt(c.SrcProc)+sched.Eps || o.Finish > crashAt(c.DstProc)+sched.Eps {
+			return fmt.Errorf("online: comm %d finished at %v past an endpoint crash (src P%d @ %v, dst P%d @ %v)",
+				i, o.Finish, c.SrcProc, crashAt(c.SrcProc), c.DstProc, crashAt(c.DstProc))
+		}
+		k := key{c.To, c.DstCopy}
+		if arrivals[k] == nil {
+			arrivals[k] = map[dag.TaskID]float64{}
+		}
+		if prev, ok := arrivals[k][c.From]; !ok || o.Finish < prev {
+			arrivals[k][c.From] = o.Finish
+		}
+	}
+	for t := range res.Reps {
+		for _, o := range res.Reps[t] {
+			if !o.Alive {
+				continue
+			}
+			for _, e := range g.Pred(dag.TaskID(t)) {
+				arr, ok := arrivals[key{dag.TaskID(t), o.Rep.Copy}][e.From]
+				if !ok {
+					return fmt.Errorf("online: replica (%d,%d) ran without an input from predecessor %d", t, o.Rep.Copy, e.From)
+				}
+				if arr > o.Start+sched.Eps {
+					return fmt.Errorf("online: replica (%d,%d) started at %v before its input from %d at %v", t, o.Rep.Copy, o.Start, e.From, arr)
+				}
+			}
+		}
+	}
+
+	// Resource exclusivity on executed times.
+	m := p.Plat.M
+	compute := make([][]timeline.Interval, m)
+	for t := range res.Reps {
+		for _, o := range res.Reps[t] {
+			if o.Alive {
+				compute[o.Rep.Proc] = append(compute[o.Rep.Proc], timeline.Interval{Start: o.Start, End: o.Finish, Owner: o.Rep.Seq})
+			}
+		}
+	}
+	for proc, ivs := range compute {
+		if err := nonOverlap(ivs); err != nil {
+			return fmt.Errorf("online: compute P%d: %w", proc, err)
+		}
+	}
+	if p.Model == sched.OnePort {
+		net := p.Network()
+		send := make([][]timeline.Interval, m)
+		recv := make([][]timeline.Interval, m)
+		link := make([][]timeline.Interval, net.NumLinks())
+		for _, o := range res.Comms {
+			if !o.Alive || o.Comm.Intra {
+				continue
+			}
+			iv := timeline.Interval{Start: o.Start, End: o.Finish, Owner: o.Comm.Seq}
+			send[o.Comm.SrcProc] = append(send[o.Comm.SrcProc], iv)
+			recv[o.Comm.DstProc] = append(recv[o.Comm.DstProc], iv)
+			for _, l := range net.Route(o.Comm.SrcProc, o.Comm.DstProc) {
+				link[l] = append(link[l], iv)
+			}
+		}
+		for proc, ivs := range send {
+			if err := nonOverlap(ivs); err != nil {
+				return fmt.Errorf("online: send port P%d: %w", proc, err)
+			}
+		}
+		for proc, ivs := range recv {
+			if err := nonOverlap(ivs); err != nil {
+				return fmt.Errorf("online: recv port P%d: %w", proc, err)
+			}
+		}
+		for l, ivs := range link {
+			if err := nonOverlap(ivs); err != nil {
+				return fmt.Errorf("online: link %d: %w", l, err)
+			}
+		}
+	}
+	return nil
+}
+
+func nonOverlap(ivs []timeline.Interval) error {
+	sort.Slice(ivs, func(i, j int) bool { return ivs[i].Start < ivs[j].Start })
+	for i := 1; i < len(ivs); i++ {
+		if ivs[i].Start < ivs[i-1].End-sched.Eps {
+			return fmt.Errorf("executed intervals [%v,%v) and [%v,%v) overlap",
+				ivs[i-1].Start, ivs[i-1].End, ivs[i].Start, ivs[i].End)
+		}
+	}
+	return nil
+}

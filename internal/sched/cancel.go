@@ -1,0 +1,142 @@
+package sched
+
+import (
+	"fmt"
+
+	"caft/internal/timeline"
+)
+
+// This file is the online-rescheduling surface of State: rebuilding a
+// state from a committed schedule, cancelling the reservations of work
+// lost to a crash, and the time floor that keeps reactive placements
+// from rewriting the past. Cancellations are journaled exactly like
+// reservations, so a Speculate scope that cancels and re-places work
+// rolls back to the pristine state (the online engine runs every replay
+// inside one such scope; see internal/online).
+
+// StateOf rebuilds the mutable resource state a schedule was committed
+// from: every replica and every inter-processor communication is
+// re-booked on the timelines at its recorded interval with its Seq as
+// owner, and the replica/communication records are restored. The
+// schedule must have been produced by this package's State (records
+// carry distinct Seq owners and pairwise-feasible intervals); a
+// schedule whose reservations overlap is rejected.
+func StateOf(s *Schedule) (*State, error) {
+	st := NewState(s.P)
+	var maxSeq int32
+	for t := range s.Reps {
+		st.Reps[t] = append([]Replica(nil), s.Reps[t]...)
+		for _, r := range s.Reps[t] {
+			if err := st.tls[st.computeID(r.Proc)].Add(r.Start, r.Finish-r.Start, r.Seq); err != nil {
+				return nil, fmt.Errorf("sched: rebuild replica (%d,%d): %w", t, r.Copy, err)
+			}
+			if r.Seq > maxSeq {
+				maxSeq = r.Seq
+			}
+		}
+	}
+	st.Comms = append([]Comm(nil), s.Comms...)
+	for i, c := range s.Comms {
+		if c.Seq > maxSeq {
+			maxSeq = c.Seq
+		}
+		if c.Intra || s.P.Model == MacroDataflow {
+			continue
+		}
+		for _, id := range st.commResources(c.SrcProc, c.DstProc) {
+			if err := st.tls[id].Add(c.Start, c.Dur, c.Seq); err != nil {
+				return nil, fmt.Errorf("sched: rebuild comm %d: %w", i, err)
+			}
+		}
+	}
+	st.seq = maxSeq
+	return st, nil
+}
+
+// SetFloor sets the rescheduling time floor: while floor > 0, every new
+// reservation (probe or placement) starts at or after it. The online
+// rescheduler sets the floor to the crash instant before re-mapping
+// lost work — a reactive placement must not occupy resources in the
+// past — and resets it to 0 afterwards. The floor does not move
+// existing reservations and, under the macro-dataflow model, does not
+// constrain communications (they occupy no resources; the online
+// engine clamps their executed times instead).
+func (st *State) SetFloor(t float64) {
+	if st.overlay {
+		panic("sched: SetFloor on a probe overlay")
+	}
+	st.floor = t
+}
+
+// CancelReplica removes a placed replica record and its compute
+// reservation — the rescheduler's cancellation of work lost to a
+// crash. The replica is matched by (Task, Copy, Proc). Inside a
+// Speculate scope the removal is journaled and rolled back (record
+// re-inserted at its original position, reservation re-added).
+func (st *State) CancelReplica(rep Replica) error {
+	if st.overlay {
+		panic("sched: CancelReplica on a probe overlay")
+	}
+	reps := st.Reps[rep.Task]
+	idx := -1
+	for i := range reps {
+		if reps[i].Copy == rep.Copy && reps[i].Proc == rep.Proc {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return fmt.Errorf("sched: cancel of unknown replica (%d,%d) on P%d", rep.Task, rep.Copy, rep.Proc)
+	}
+	rec := reps[idx]
+	if err := st.removeReservation(st.computeID(rec.Proc), rec.Start, rec.Finish-rec.Start, rec.Seq); err != nil {
+		return fmt.Errorf("sched: cancel replica (%d,%d): %w", rep.Task, rep.Copy, err)
+	}
+	if st.spec > 0 {
+		st.rlog = append(st.rlog, repUndo{task: rep.Task, idx: idx, rep: rec, removed: true})
+	}
+	st.Reps[rep.Task] = append(reps[:idx], reps[idx+1:]...)
+	return nil
+}
+
+// CancelComm removes a communication's send-port, receive-port and link
+// reservations. The communication record itself stays in Comms — the
+// record log is append-only (rollback truncates it), and a dead
+// transfer's record is harmless to later placements, which consult only
+// the timelines. Intra and macro-dataflow communications hold no
+// reservations and cancel to a no-op.
+func (st *State) CancelComm(c Comm) error {
+	if st.overlay {
+		panic("sched: CancelComm on a probe overlay")
+	}
+	if c.Intra || st.P.Model == MacroDataflow {
+		return nil
+	}
+	for _, id := range st.commResources(c.SrcProc, c.DstProc) {
+		if err := st.removeReservation(id, c.Start, c.Dur, c.Seq); err != nil {
+			return fmt.Errorf("sched: cancel comm %d->%d seq %d: %w", c.From, c.To, c.Seq, err)
+		}
+	}
+	return nil
+}
+
+// removeReservation deletes one timeline reservation, journaling it for
+// rollback when a speculation scope is open.
+func (st *State) removeReservation(id int, start, dur float64, owner int32) error {
+	if !st.tls[id].Remove(start, owner) {
+		return fmt.Errorf("no reservation at %v owned by %d on timeline %d", start, owner, id)
+	}
+	if st.spec > 0 {
+		st.tlog = append(st.tlog, tlUndo{id: id, start: start, dur: dur, owner: owner, removed: true})
+	}
+	return nil
+}
+
+// NumTimelines returns the number of resource timelines: m compute, m
+// send ports, m receive ports, then one per directed link.
+func (st *State) NumTimelines() int { return len(st.tls) }
+
+// Timeline returns resource timeline i for inspection (validation
+// cross-checks, tests). The returned pointer aliases state-owned
+// storage and must not be mutated.
+func (st *State) Timeline(i int) *timeline.Timeline { return &st.tls[i] }

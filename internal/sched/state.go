@@ -48,13 +48,20 @@ type State struct {
 	// clones): placements on them are not recorded in Reps/Comms.
 	noRecord bool
 
-	// Speculation journal (see Speculate): while spec > 0, reserve logs
-	// every timeline reservation into tlog and PlaceReplica logs every
-	// Reps append into rlog; rollback undoes both in reverse and
-	// truncates Comms.
+	// Speculation journal (see Speculate): while spec > 0, reserve and
+	// the Cancel* methods log every timeline mutation into tlog and
+	// every Reps mutation into rlog; rollback undoes both in reverse
+	// and truncates Comms. Each log replays its own mutations in exact
+	// reverse order, which keeps interleaved additions and removals of
+	// the same task's replicas (a reactive replica placed at one crash
+	// and cancelled at a later one) consistent.
 	spec int
 	tlog []tlUndo
-	rlog []dag.TaskID
+	rlog []repUndo
+
+	// floor is the online-rescheduling time floor: while positive, no
+	// new reservation may start before it (see SetFloor).
+	floor float64
 
 	// Reusable scratch, never shared between states. probeScratch is the
 	// lazily built overlay state reused by Append-policy probes.
@@ -65,12 +72,27 @@ type State struct {
 	commIDs      []int
 }
 
-// tlUndo is one journaled timeline reservation: enough to UndoAdd it.
+// tlUndo is one journaled timeline mutation: a reservation to UndoAdd,
+// or (removed) a cancelled reservation to re-Add. Re-adding restores
+// the ready time exactly: at rollback the timeline is in its
+// immediately-post-Remove state, whose rescanned ready time r satisfies
+// max(r, start+dur) == the pre-Remove ready time.
 type tlUndo struct {
 	id      int
 	start   float64
 	prevMax float64
+	dur     float64
 	owner   int32
+	removed bool
+}
+
+// repUndo is one journaled Reps mutation: an appended replica to
+// truncate, or (removed) a cancelled replica to re-insert at idx.
+type repUndo struct {
+	task    dag.TaskID
+	idx     int
+	rep     Replica
+	removed bool
 }
 
 // probeMark captures the journal position a rollback returns to.
@@ -102,7 +124,7 @@ func (st *State) linkID(l int) int       { return 3*st.m + l }
 // Clone deep-copies the state. Scratch buffers and the speculation
 // journal are not carried over: the clone starts with a clean journal.
 func (st *State) Clone() *State {
-	c := &State{P: st.P, net: st.net, clique: st.clique, m: st.m, seq: st.seq}
+	c := &State{P: st.P, net: st.net, clique: st.clique, m: st.m, seq: st.seq, floor: st.floor}
 	c.tls = make([]timeline.Timeline, len(st.tls))
 	for i := range st.tls {
 		c.tls[i] = *st.tls[i].Clone()
@@ -129,6 +151,7 @@ func (st *State) overlayForProbe() *State {
 		st.probeScratch = ps
 	}
 	ps.P, ps.net, ps.clique, ps.m, ps.tls, ps.Reps, ps.seq = st.P, st.net, st.clique, st.m, st.tls, st.Reps, st.seq
+	ps.floor = st.floor
 	if st.overlay {
 		copy(ps.ready, st.ready)
 	} else {
@@ -145,18 +168,30 @@ func (st *State) begin() probeMark {
 	return probeMark{tlog: len(st.tlog), rlog: len(st.rlog), comms: len(st.Comms), seq: st.seq}
 }
 
-// rollback undoes everything journaled since mark: timeline
-// reservations in reverse order (restoring each timeline's ready time),
-// replica records, communication records and the sequence counter.
+// rollback undoes everything journaled since mark: timeline mutations
+// in reverse order (restoring each timeline's ready time), replica
+// record mutations, communication records and the sequence counter.
 func (st *State) rollback(m probeMark) {
 	for i := len(st.tlog) - 1; i >= m.tlog; i-- {
 		u := st.tlog[i]
-		st.tls[u.id].UndoAdd(u.start, u.owner, u.prevMax)
+		if u.removed {
+			st.tls[u.id].MustAdd(u.start, u.dur, u.owner)
+		} else {
+			st.tls[u.id].UndoAdd(u.start, u.owner, u.prevMax)
+		}
 	}
 	st.tlog = st.tlog[:m.tlog]
 	for i := len(st.rlog) - 1; i >= m.rlog; i-- {
-		t := st.rlog[i]
-		st.Reps[t] = st.Reps[t][:len(st.Reps[t])-1]
+		u := st.rlog[i]
+		reps := st.Reps[u.task]
+		if u.removed {
+			reps = append(reps, Replica{})
+			copy(reps[u.idx+1:], reps[u.idx:])
+			reps[u.idx] = u.rep
+			st.Reps[u.task] = reps
+		} else {
+			st.Reps[u.task] = reps[:len(reps)-1]
+		}
 	}
 	st.rlog = st.rlog[:m.rlog]
 	st.Comms = st.Comms[:m.comms]
@@ -183,8 +218,11 @@ func (st *State) Speculate(fn func() error) error {
 }
 
 // earliest returns the earliest start >= ready for a reservation of dur
-// on timeline id.
+// on timeline id, respecting the rescheduling floor.
 func (st *State) earliest(id int, ready, dur float64) float64 {
+	if ready < st.floor {
+		ready = st.floor
+	}
 	if st.overlay {
 		if r := st.ready[id]; r > ready {
 			return r
@@ -462,7 +500,7 @@ func (st *State) PlaceReplica(t dag.TaskID, copy, proc int, sources []SourceSet)
 	if !st.noRecord {
 		st.Reps[t] = append(st.Reps[t], rep)
 		if st.spec > 0 {
-			st.rlog = append(st.rlog, t)
+			st.rlog = append(st.rlog, repUndo{task: t})
 		}
 	}
 	return rep, nil

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
 	"caft/internal/core"
 	"caft/internal/expt"
@@ -40,6 +41,10 @@ type Response struct {
 	Schedule ScheduleJSON `json:"schedule"`
 
 	Reliability *ReliabilityResult `json:"reliability,omitempty"`
+
+	// Online carries the reactive makespan distribution of mode=online
+	// requests.
+	Online *OnlineResult `json:"online,omitempty"`
 }
 
 // ScheduleJSON carries the placed replicas and communications. The
@@ -87,6 +92,33 @@ type ReliabilityResult struct {
 	MeanLatency *float64 `json:"meanLatency"`
 	// ReplayErrors counts scenarios the replay engine failed to
 	// evaluate; they are excluded from the estimates.
+	ReplayErrors int `json:"replayErrors"`
+}
+
+// OnlineResult is the online-mode section of a response: the achieved
+// makespan distribution over sampled failure traces replayed through
+// the event-driven engine (reactive re-mapping unless the spec set
+// static).
+type OnlineResult struct {
+	// Samples is the number of evaluated traces (engine failures
+	// excluded; see ReplayErrors).
+	Samples int `json:"samples"`
+	// Lost counts traces under which some task never completed — zero
+	// for reactive runs unless crashes exhaust the platform.
+	Lost int `json:"lost"`
+	// Unreliability is Lost / Samples.
+	Unreliability float64 `json:"unreliability"`
+	// Makespan distribution over the completed runs; null when none
+	// completed.
+	MeanMakespan *float64 `json:"meanMakespan"`
+	MinMakespan  *float64 `json:"minMakespan"`
+	P50Makespan  *float64 `json:"p50Makespan"`
+	P90Makespan  *float64 `json:"p90Makespan"`
+	MaxMakespan  *float64 `json:"maxMakespan"`
+	// MeanRescheduled is the mean number of reactive re-placements per
+	// completed run (0 in static mode).
+	MeanRescheduled float64 `json:"meanRescheduled"`
+	// ReplayErrors counts traces the engine failed to evaluate.
 	ReplayErrors int `json:"replayErrors"`
 }
 
@@ -168,6 +200,37 @@ func (s *Service) compute(sc *scratch, req *Request) ([]byte, error) {
 			rr.MeanLatency = &lat
 		}
 		resp.Reliability = rr
+	}
+
+	if os := req.Online; os != nil {
+		tally, err := expt.EstimateOnline(schedule, os.rel().buildModel(p.Plat.M), os.Samples, os.Seed, s.cfg.MCWorkers, !os.Static)
+		if err != nil {
+			return nil, fmt.Errorf("online replay failed: %w", err)
+		}
+		or := &OnlineResult{
+			Samples:      len(tally.Makespans) + tally.Lost,
+			Lost:         tally.Lost,
+			ReplayErrors: tally.ReplayErrors,
+		}
+		if or.Samples > 0 {
+			or.Unreliability = float64(tally.Lost) / float64(or.Samples)
+		}
+		if n := len(tally.Makespans); n > 0 {
+			sorted := append([]float64(nil), tally.Makespans...)
+			sort.Float64s(sorted)
+			mean := 0.0
+			for _, v := range sorted {
+				mean += v
+			}
+			mean /= float64(n)
+			or.MeanMakespan = &mean
+			or.MinMakespan = &sorted[0]
+			or.P50Makespan = &sorted[(n-1)/2]
+			or.P90Makespan = &sorted[(n-1)*9/10]
+			or.MaxMakespan = &sorted[n-1]
+			or.MeanRescheduled = float64(tally.Rescheduled) / float64(n)
+		}
+		resp.Online = or
 	}
 
 	sc.buf.Reset()

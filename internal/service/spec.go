@@ -2,7 +2,9 @@
 // long-running, concurrent front end over the library core that accepts
 // scheduling problems as JSON, runs any of the five schedulers under
 // either reservation policy, and returns the schedule plus optional
-// Monte-Carlo reliability estimates.
+// Monte-Carlo reliability estimates — or, in "mode":"online", the
+// reactive makespan distribution of the schedule replayed through the
+// event-driven online rescheduling engine (internal/online).
 //
 // The layer is built for serving, not for one-shot CLI runs (see
 // DESIGN.md S6):
@@ -81,6 +83,15 @@ type Request struct {
 	// Reliability, when set, adds Monte-Carlo reliability and
 	// expected-latency estimates to the response.
 	Reliability *ReliabilitySpec `json:"reliability,omitempty"`
+
+	// Mode selects the serving product: "schedule" (the default) returns
+	// the static schedule; "online" additionally replays sampled failure
+	// traces through the event-driven reactive engine (internal/online)
+	// and returns the achieved makespan distribution.
+	Mode string `json:"mode,omitempty"`
+	// Online configures the online-mode Monte Carlo; required exactly
+	// when Mode is "online".
+	Online *OnlineSpec `json:"online,omitempty"`
 }
 
 // PlatformSpec describes the processors. Either Delay (homogeneous unit
@@ -134,9 +145,98 @@ type ReliabilitySpec struct {
 	Seed int64 `json:"seed,omitempty"`
 }
 
+// OnlineSpec configures the online-mode Monte Carlo: Samples failure
+// traces drawn from the failure model are replayed through the
+// event-driven engine, by default with the reactive re-mapper armed.
+// The failure-model fields mirror ReliabilitySpec.
+type OnlineSpec struct {
+	Samples int     `json:"samples"`
+	Kind    string  `json:"kind,omitempty"`
+	Shape   float64 `json:"shape,omitempty"`
+	MTBF    float64 `json:"mtbf,omitempty"`
+	MTBFLo  float64 `json:"mtbfLo,omitempty"`
+	MTBFHi  float64 `json:"mtbfHi,omitempty"`
+	// Seed drives the trace draws, independently of the scheduling seed.
+	Seed int64 `json:"seed,omitempty"`
+	// Static disables the reactive re-mapper: the distribution then
+	// reflects what replication alone achieves under the causal online
+	// semantics.
+	Static bool `json:"static,omitempty"`
+}
+
+// rel converts the failure-model half of the spec to a ReliabilitySpec
+// for model construction. Compute-path only: validate and hash stay
+// allocation-free and use the direct methods below.
+func (os *OnlineSpec) rel() *ReliabilitySpec {
+	return &ReliabilitySpec{Samples: os.Samples, Kind: os.Kind, Shape: os.Shape,
+		MTBF: os.MTBF, MTBFLo: os.MTBFLo, MTBFHi: os.MTBFHi, Seed: os.Seed}
+}
+
+// validate mirrors ReliabilitySpec.validate with the online sample cap.
+func (os *OnlineSpec) validate() error {
+	if os.Samples < 1 || os.Samples > maxOnlineSamples {
+		return fmt.Errorf("online samples %d outside [1, %d]", os.Samples, maxOnlineSamples)
+	}
+	switch os.Kind {
+	case "", "exponential":
+		if os.Shape != 0 {
+			return fmt.Errorf("shape is a weibull parameter")
+		}
+	case "weibull":
+		if os.Shape <= 0 {
+			return fmt.Errorf("weibull needs a positive shape, got %v", os.Shape)
+		}
+	default:
+		return fmt.Errorf("unknown failure model %q (want exponential or weibull)", os.Kind)
+	}
+	random := os.MTBFLo != 0 || os.MTBFHi != 0
+	switch {
+	case random && os.MTBF != 0:
+		return fmt.Errorf("mtbf and mtbfLo/mtbfHi are mutually exclusive")
+	case random && (os.MTBFLo <= 0 || os.MTBFHi < os.MTBFLo):
+		return fmt.Errorf("invalid MTBF range [%v, %v]", os.MTBFLo, os.MTBFHi)
+	case !random && os.MTBF <= 0:
+		return fmt.Errorf("mtbf must be positive, got %v", os.MTBF)
+	}
+	return nil
+}
+
+// kindIndex returns the canonical failure-model enum (default
+// resolved); -1 for unknown kinds (rejected by validate).
+func (os *OnlineSpec) kindIndex() int {
+	switch os.Kind {
+	case "", "exponential":
+		return 0
+	case "weibull":
+		return 1
+	}
+	return -1
+}
+
 // maxReliabilitySamples bounds the Monte-Carlo work a single request
 // may demand.
 const maxReliabilitySamples = 1 << 20
+
+// maxOnlineSamples bounds online-mode replays, which run the full event
+// engine (and possibly rescheduling) per trace — heavier than a timed
+// replay, so the cap sits lower.
+const maxOnlineSamples = 1 << 16
+
+// modeNames lists the serving modes; the index is the canonical enum
+// hashed into cache keys.
+var modeNames = [...]string{"schedule", "online"}
+
+func (r *Request) modeIndex() int {
+	if r.Mode == "" {
+		return 0
+	}
+	for i, n := range modeNames {
+		if n == r.Mode {
+			return i
+		}
+	}
+	return -1
+}
 
 // Problem-size bounds: a long-running daemon must not let one tiny
 // request allocate an unbounded graph or execution matrix (the body cap
@@ -287,6 +387,17 @@ func (r *Request) validate() error {
 	}
 	if r.Reliability != nil {
 		if err := r.Reliability.validate(); err != nil {
+			return err
+		}
+	}
+	if r.modeIndex() < 0 {
+		return fmt.Errorf("unknown mode %q (want schedule or online)", r.Mode)
+	}
+	if (r.modeIndex() == 1) != (r.Online != nil) {
+		return fmt.Errorf("mode online and the online spec must be set together")
+	}
+	if r.Online != nil {
+		if err := r.Online.validate(); err != nil {
 			return err
 		}
 	}
@@ -456,7 +567,9 @@ func (rs *ReliabilitySpec) buildModel(m int) failure.Model {
 // part of the cache-hit fast path.
 func (r *Request) hash() hashKey {
 	h := newDigest()
-	h.str("caftd-problem-v1")
+	// v2: adds the serving mode and the online Monte-Carlo spec to the
+	// canonical stream.
+	h.str("caftd-problem-v2")
 	h.int(r.algIndex())
 	h.int(r.Eps)
 	policy, _ := r.policy()
@@ -534,6 +647,25 @@ func (r *Request) hash() hashKey {
 		h.f64(rs.MTBFLo)
 		h.f64(rs.MTBFHi)
 		h.i64(rs.Seed)
+	} else {
+		h.int(-1)
+	}
+
+	h.int(r.modeIndex()) // enum, so "" and "schedule" share a key
+	if r.Online != nil {
+		os := r.Online
+		h.int(os.Samples)
+		h.int(os.kindIndex())
+		h.f64(os.Shape)
+		h.f64(os.MTBF)
+		h.f64(os.MTBFLo)
+		h.f64(os.MTBFHi)
+		h.i64(os.Seed)
+		if os.Static {
+			h.int(1)
+		} else {
+			h.int(0)
+		}
 	} else {
 		h.int(-1)
 	}

@@ -1,0 +1,93 @@
+package timeline
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestMarkerInsidePositiveAccepted pins the marker symmetry fix: the
+// insertion policy can legally place a positive reservation across a
+// zero-length ordering marker, so the resulting interval list must also
+// be reproducible by re-adding it in start order — which re-adds the
+// marker INTO the positive reservation. Before the fix Add accepted the
+// first order and rejected the second, so rebuilding a state from a
+// schedule (sched.StateOf) could fail on legal timelines.
+func TestMarkerInsidePositiveAccepted(t *testing.T) {
+	// Original order: marker first, then a positive spanning it.
+	var a Timeline
+	a.MustAdd(48, 0, 1)
+	if err := a.Add(36, 16, 2); err != nil {
+		t.Fatalf("positive across marker rejected: %v", err)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Rebuild order: positive first, then the marker inside it.
+	var b Timeline
+	b.MustAdd(36, 16, 2)
+	if err := b.Add(48, 0, 1); err != nil {
+		t.Fatalf("marker inside positive rejected: %v", err)
+	}
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Ready() != b.Ready() || a.Len() != b.Len() {
+		t.Fatalf("orders diverge: ready %v/%v, len %d/%d", a.Ready(), b.Ready(), a.Len(), b.Len())
+	}
+	// Positive overlap is still rejected either way.
+	if err := a.Add(40, 4, 3); err == nil {
+		t.Fatal("overlapping positive accepted")
+	}
+}
+
+// TestRemoveHeavyGapIndex is the deterministic regression companion of
+// the fuzz target: a seeded storm of insertion-policy adds and removes
+// — the access pattern of online rescheduling, which cancels
+// mid-timeline reservations wholesale — with the gap index cross-checked
+// against a from-scratch rebuild throughout.
+func TestRemoveHeavyGapIndex(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	var tl Timeline
+	var live []Interval
+	owner := int32(0)
+	for step := 0; step < 4000; step++ {
+		switch {
+		case len(live) == 0 || rng.Intn(3) != 0:
+			ready := float64(rng.Intn(200))
+			dur := float64(rng.Intn(24)) // ~4% zero-length markers
+			pol := Policy(rng.Intn(2))
+			s := tl.EarliestSlot(ready, dur, pol)
+			if s < ready {
+				t.Fatalf("step %d: slot %v before ready %v", step, s, ready)
+			}
+			tl.MustAdd(s, dur, owner)
+			live = append(live, Interval{Start: s, End: s + dur, Owner: owner})
+			owner++
+		default:
+			idx := rng.Intn(len(live))
+			if !tl.Remove(live[idx].Start, live[idx].Owner) {
+				t.Fatalf("step %d: reservation %+v vanished", step, live[idx])
+			}
+			live = append(live[:idx], live[idx+1:]...)
+		}
+		if err := tl.Validate(); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		if step%97 == 0 {
+			crossCheck(t, &tl)
+		}
+	}
+	// Drain everything: the index must collapse back to the empty state.
+	for _, iv := range live {
+		if !tl.Remove(iv.Start, iv.Owner) {
+			t.Fatalf("drain: reservation %+v vanished", iv)
+		}
+		if err := tl.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tl.Len() != 0 || tl.Ready() != 0 {
+		t.Fatalf("drained timeline not empty: len %d, ready %v", tl.Len(), tl.Ready())
+	}
+	crossCheck(t, &tl)
+}

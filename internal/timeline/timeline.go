@@ -134,7 +134,11 @@ func (tl *Timeline) EarliestSlot(ready, dur float64, pol Policy) float64 {
 // Add reserves [start, start+dur) for owner. It returns an error if the
 // new interval overlaps an existing reservation (callers must use
 // EarliestSlot to find feasible starts). Zero-duration reservations are
-// accepted and kept; they are useful as ordering markers.
+// accepted and kept anywhere — they occupy no time and act as ordering
+// markers; symmetrically, a positive reservation may span existing
+// markers. The symmetry matters for rebuilding a timeline from its
+// interval list (sched.StateOf): re-adding intervals in start order
+// must accept exactly the states the incremental path can reach.
 func (tl *Timeline) Add(start, dur float64, owner int32) error {
 	if dur < 0 {
 		return fmt.Errorf("timeline: negative duration %v", dur)
@@ -142,10 +146,10 @@ func (tl *Timeline) Add(start, dur float64, owner int32) error {
 	end := start + dur
 	i := sort.Search(len(tl.ivs), func(i int) bool { return tl.ivs[i].Start >= start })
 	// Check overlap against positive-length neighbors; zero-length
-	// intervals are markers and never conflict. Positive intervals are
-	// pairwise disjoint and start-sorted, so the nearest positive one on
-	// each side decides.
-	for j := i - 1; j >= 0; j-- {
+	// intervals — existing or being added — are markers and never
+	// conflict. Positive intervals are pairwise disjoint and
+	// start-sorted, so the nearest positive one on each side decides.
+	for j := i - 1; dur > 0 && j >= 0; j-- {
 		if tl.ivs[j].End == tl.ivs[j].Start {
 			continue
 		}
@@ -154,7 +158,7 @@ func (tl *Timeline) Add(start, dur float64, owner int32) error {
 		}
 		break
 	}
-	for j := i; j < len(tl.ivs) && tl.ivs[j].Start < end; j++ {
+	for j := i; dur > 0 && j < len(tl.ivs) && tl.ivs[j].Start < end; j++ {
 		if tl.ivs[j].End > tl.ivs[j].Start {
 			return fmt.Errorf("timeline: [%v,%v) overlaps [%v,%v)", start, end, tl.ivs[j].Start, tl.ivs[j].End)
 		}
