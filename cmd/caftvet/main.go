@@ -1,0 +1,138 @@
+// Command caftvet mechanically enforces the repo's determinism,
+// scratch-aliasing and error-sentinel contracts (DESIGN.md S8) with
+// four analyzers:
+//
+//	errsentinel   ==/!= against exported Err... sentinels -> errors.Is
+//	maporder      map iteration in //caft:deterministic packages
+//	nondet        ambient time/rand/env/scheduler reads in those packages
+//	scratchalias  retained results of //caft:scratch methods
+//
+// Two ways to run it:
+//
+//	caftvet ./...                              # standalone multichecker
+//	go vet -vettool=$(which caftvet) ./...     # as the go vet tool
+//
+// Standalone mode loads every matched package in one process, so
+// cross-package //caft:scratch annotations are always visible; it is
+// what CI runs. Vettool mode speaks the go vet unit-checker protocol
+// (-V=full, -flags, one JSON vet.cfg per compilation unit) and
+// propagates scratch annotations between units as JSON facts through
+// the .vetx files go vet already plumbs; it composes with go vet's
+// caching and the standard analyzers' UX.
+//
+// Exit status: 0 clean, 1 operational error, 2 diagnostics found
+// (matching go vet's convention).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"caft/internal/analysis"
+	"caft/internal/analysis/passes"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("caftvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		runFilter = fs.String("run", "", "comma-separated analyzer names to run (default: all)")
+		jsonOut   = fs.Bool("json", false, "emit diagnostics as JSON")
+		list      = fs.Bool("list", false, "list analyzers and exit")
+		version   = fs.String("V", "", "go vet protocol: print tool version (use -V=full)")
+		flagsOut  = fs.Bool("flags", false, "go vet protocol: describe flags as JSON")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: caftvet [-run a,b] [-json] [packages]\n       go vet -vettool=$(which caftvet) [packages]\n\nAnalyzers:\n")
+		for _, a := range passes.All() {
+			fmt.Fprintf(stderr, "  %-14s %s\n", a.Name, a.Doc)
+		}
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+
+	switch {
+	case *version != "":
+		// go vet derives its cache key from this line; any stable
+		// "name version ..." string works.
+		fmt.Fprintf(stdout, "caftvet version caft-suite-v1\n")
+		return 0
+	case *flagsOut:
+		// go vet queries supported flags as a JSON array; caftvet
+		// accepts none through go vet.
+		fmt.Fprintln(stdout, "[]")
+		return 0
+	case *list:
+		for _, a := range passes.All() {
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	enabled, err := selectAnalyzers(*runFilter)
+	if err != nil {
+		fmt.Fprintln(stderr, "caftvet:", err)
+		return 1
+	}
+
+	rest := fs.Args()
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		return runVetCfg(rest[0], enabled, *jsonOut, stdout, stderr)
+	}
+	if len(rest) == 0 {
+		rest = []string{"./..."}
+	}
+
+	pkgs, err := analysis.Load("", rest...)
+	if err != nil {
+		fmt.Fprintln(stderr, "caftvet:", err)
+		return 1
+	}
+	findings, err := analysis.Run(pkgs, enabled, nil)
+	if err != nil {
+		fmt.Fprintln(stderr, "caftvet:", err)
+		return 1
+	}
+	emit(findings, *jsonOut, stdout, stderr)
+	if len(findings) > 0 {
+		return 2
+	}
+	return 0
+}
+
+func selectAnalyzers(filter string) ([]*analysis.Analyzer, error) {
+	all := passes.All()
+	if filter == "" {
+		return all, nil
+	}
+	byName := make(map[string]*analysis.Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*analysis.Analyzer
+	for _, name := range strings.Split(filter, ",") {
+		a, ok := byName[strings.TrimSpace(name)]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q (have: %s)", name, names(all))
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+func names(as []*analysis.Analyzer) string {
+	var ns []string
+	for _, a := range as {
+		ns = append(ns, a.Name)
+	}
+	return strings.Join(ns, ", ")
+}

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCaftvet(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestCleanFixtureExitsZero(t *testing.T) {
+	code, stdout, stderr := runCaftvet(t, "./testdata/src/scratchlib", "./testdata/src/clean")
+	if code != 0 {
+		t.Fatalf("caftvet over clean fixture: exit %d\nstdout: %s\nstderr: %s", code, stdout, stderr)
+	}
+	if stderr != "" {
+		t.Fatalf("clean fixture produced diagnostics:\n%s", stderr)
+	}
+}
+
+// TestDirtyFixtureFiresEveryAnalyzer proves each analyzer produces at
+// least one diagnostic through the real driver, and — because the
+// scratch misuse in dirty aliases an annotation declared in
+// scratchlib — that cross-package annotations are visible in
+// standalone mode.
+func TestDirtyFixtureFiresEveryAnalyzer(t *testing.T) {
+	code, _, stderr := runCaftvet(t, "./testdata/src/scratchlib", "./testdata/src/dirty")
+	if code != 2 {
+		t.Fatalf("caftvet over dirty fixture: exit %d, want 2\nstderr: %s", code, stderr)
+	}
+	for _, analyzer := range []string{"errsentinel", "maporder", "nondet", "scratchalias"} {
+		if !strings.Contains(stderr, analyzer+": ") {
+			t.Errorf("dirty fixture: no %s diagnostic in output:\n%s", analyzer, stderr)
+		}
+	}
+	if !strings.Contains(stderr, "ItemsCopy") {
+		t.Errorf("scratchalias diagnostic does not steer to the safe variant:\n%s", stderr)
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	code, stdout, _ := runCaftvet(t, "-json", "./testdata/src/scratchlib", "./testdata/src/dirty")
+	if code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	var parsed map[string]map[string][]struct {
+		Posn    string `json:"posn"`
+		Message string `json:"message"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &parsed); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v\n%s", err, stdout)
+	}
+	dirty := parsed["caft/cmd/caftvet/testdata/src/dirty"]
+	if len(dirty) != 4 {
+		t.Fatalf("want diagnostics from 4 analyzers for dirty, got %d: %v", len(dirty), dirty)
+	}
+}
+
+func TestRunFilter(t *testing.T) {
+	code, _, stderr := runCaftvet(t, "-run", "maporder", "./testdata/src/dirty")
+	if code != 2 {
+		t.Fatalf("exit %d, want 2\n%s", code, stderr)
+	}
+	if strings.Contains(stderr, "nondet: ") || strings.Contains(stderr, "errsentinel: ") {
+		t.Fatalf("-run maporder ran other analyzers:\n%s", stderr)
+	}
+	if code, _, stderr := runCaftvet(t, "-run", "nosuch"); code != 1 || !strings.Contains(stderr, "unknown analyzer") {
+		t.Fatalf("-run nosuch: exit %d, stderr %q", code, stderr)
+	}
+}
+
+func TestProtocolHandshake(t *testing.T) {
+	if code, stdout, _ := runCaftvet(t, "-V=full"); code != 0 || !strings.Contains(stdout, "caftvet version ") {
+		t.Fatalf("-V=full: exit %d, output %q", code, stdout)
+	}
+	if code, stdout, _ := runCaftvet(t, "-flags"); code != 0 || strings.TrimSpace(stdout) != "[]" {
+		t.Fatalf("-flags: exit %d, output %q", code, stdout)
+	}
+}
+
+// TestGoVetVettool drives the real `go vet -vettool=` protocol: build
+// the binary, vet the dirty fixture, and require every analyzer to
+// fire — including scratchalias on the annotation imported from
+// scratchlib, which can only work if the .vetx facts files round-trip
+// between compilation units.
+func TestGoVetVettool(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and recompiles fixtures; skipped in -short")
+	}
+	bin := filepath.Join(t.TempDir(), "caftvet")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("building caftvet: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./testdata/src/clean")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go vet -vettool over clean fixture failed: %v\n%s", err, out)
+	}
+
+	cmd = exec.Command("go", "vet", "-vettool="+bin, "./testdata/src/dirty")
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet -vettool over dirty fixture passed; want diagnostics\n%s", out)
+	}
+	for _, analyzer := range []string{"errsentinel", "maporder", "nondet", "scratchalias"} {
+		if !strings.Contains(string(out), analyzer+": ") {
+			t.Errorf("go vet -vettool: no %s diagnostic:\n%s", analyzer, out)
+		}
+	}
+	if !strings.Contains(string(out), "ItemsCopy") {
+		t.Errorf("go vet -vettool: cross-unit scratch facts did not propagate:\n%s", out)
+	}
+}

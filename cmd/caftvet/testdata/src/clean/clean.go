@@ -1,0 +1,59 @@
+// Package clean exercises every contract the right way; the driver
+// tests assert caftvet exits 0 over it.
+//
+//caft:deterministic
+package clean
+
+import (
+	"errors"
+	"runtime"
+	"sort"
+
+	"caft/cmd/caftvet/testdata/src/scratchlib"
+)
+
+// ErrGone is a sentinel; all comparisons below go through errors.Is.
+var ErrGone = errors.New("gone")
+
+type holder struct {
+	kept []int
+}
+
+func SortedLeak(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func Total(m map[string]int) int {
+	n := 0
+	//caft:unordered-ok addition is commutative; only the total escapes
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+func Workers() int {
+	//caft:nondet-ok bounds concurrency only; results merge in fixed order
+	return runtime.GOMAXPROCS(0)
+}
+
+func IsGone(err error) bool {
+	return errors.Is(err, ErrGone)
+}
+
+func Retain(h *holder, b *scratchlib.Buf) {
+	h.kept = b.ItemsCopy()
+}
+
+func Consume(b *scratchlib.Buf) int {
+	n := 0
+	for _, v := range b.Items() {
+		n += v
+	}
+	return n
+}

@@ -1,0 +1,39 @@
+// Package dirty violates every caftvet contract exactly once; the
+// driver tests assert one finding per analyzer.
+//
+//caft:deterministic
+package dirty
+
+import (
+	"errors"
+	"time"
+
+	"caft/cmd/caftvet/testdata/src/scratchlib"
+)
+
+// ErrBroken is a sentinel for the errsentinel fixture.
+var ErrBroken = errors.New("broken")
+
+type holder struct {
+	kept []int
+}
+
+func Leak(m map[string]int) []string {
+	var out []string
+	for k := range m { // maporder
+		out = append(out, k, k)
+	}
+	return out
+}
+
+func Stamp() int64 {
+	return time.Now().Unix() // nondet
+}
+
+func IsBroken(err error) bool {
+	return err == ErrBroken // errsentinel
+}
+
+func Retain(h *holder, b *scratchlib.Buf) {
+	h.kept = b.Items() // scratchalias, via the imported annotation
+}

@@ -1,0 +1,25 @@
+// Package scratchlib is the annotated library half of the caftvet
+// end-to-end fixtures: the misuse lives in the importing package, so
+// catching it proves cross-package annotation visibility (the whole
+// point of the facts plumbing in vettool mode).
+package scratchlib
+
+// Buf owns a reusable scratch slice.
+type Buf struct {
+	scratch []int
+}
+
+// Items returns the live item set.
+//
+//caft:scratch safe=ItemsCopy
+func (b *Buf) Items() []int {
+	if b.scratch == nil {
+		b.scratch = make([]int, 0, 8)
+	}
+	return b.scratch
+}
+
+// ItemsCopy returns a freshly allocated copy of Items, safe to retain.
+func (b *Buf) ItemsCopy() []int {
+	return append([]int(nil), b.Items()...)
+}

@@ -1,0 +1,215 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+
+	"caft/internal/analysis"
+)
+
+// vetConfig is the JSON the go command writes for each compilation
+// unit when invoked as `go vet -vettool=caftvet` — the same contract
+// x/tools' unitchecker consumes. Fields caftvet does not need
+// (NonGoFiles, ID, ...) are accepted and ignored.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string // import path -> export data file
+	Standard                  map[string]bool
+	PackageVetx               map[string]string // import path -> dependency facts file
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runVetCfg analyzes one compilation unit: parse the unit's files,
+// type-check against the export data go vet hands us, merge the
+// scratch-annotation facts of the dependencies, run the suite, write
+// our own facts for dependents, and report.
+func runVetCfg(path string, analyzers []*analysis.Analyzer, jsonOut bool, stdout, stderr io.Writer) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(stderr, "caftvet:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(stderr, "caftvet: parsing %s: %v\n", path, err)
+		return 1
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return typecheckFailed(cfg, fmt.Sprintf("caftvet: %v", err), stderr)
+		}
+		files = append(files, f)
+	}
+
+	imp := &cfgImporter{cfg: &cfg}
+	imp.gc = importer.ForCompiler(fset, "gc", imp.lookup)
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: imp, Sizes: types.SizesFor("gc", runtime.GOARCH)}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return typecheckFailed(cfg, fmt.Sprintf("caftvet: type-checking %s: %v", cfg.ImportPath, err), stderr)
+	}
+
+	dirs := analysis.NewDirectives()
+	for dep, vetx := range cfg.PackageVetx {
+		facts, err := os.ReadFile(vetx)
+		if err != nil {
+			fmt.Fprintf(stderr, "caftvet: reading facts of %s: %v\n", dep, err)
+			return 1
+		}
+		if err := dirs.DecodeFacts(facts); err != nil {
+			fmt.Fprintf(stderr, "caftvet: facts of %s: %v\n", dep, err)
+			return 1
+		}
+	}
+
+	// go vet hands us test variants of packages with their _test.go
+	// files included; standalone mode never sees them (`go list`'s
+	// GoFiles excludes tests). Tests are exempt from the contracts, so
+	// type-check everything but analyze only the non-test files — this
+	// keeps both modes reporting identical findings.
+	var goFiles []string
+	var syntax []*ast.File
+	for i, name := range cfg.GoFiles {
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		goFiles = append(goFiles, name)
+		syntax = append(syntax, files[i])
+	}
+
+	pkg := &analysis.Package{
+		PkgPath:   cfg.ImportPath,
+		Name:      tpkg.Name(),
+		Dir:       cfg.Dir,
+		GoFiles:   goFiles,
+		Fset:      fset,
+		Syntax:    syntax,
+		Types:     tpkg,
+		TypesInfo: info,
+	}
+	findings, err := analysis.Run([]*analysis.Package{pkg}, analyzers, dirs)
+	if err != nil {
+		fmt.Fprintln(stderr, "caftvet:", err)
+		return 1
+	}
+
+	if err := writeFacts(&cfg, dirs); err != nil {
+		fmt.Fprintln(stderr, "caftvet:", err)
+		return 1
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	emit(findings, jsonOut, stdout, stderr)
+	if len(findings) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// typecheckFailed honors SucceedOnTypecheckFailure, which go vet sets
+// when the build itself already failed: the compiler's error wins and
+// the vet tool stays silent (but must still produce its facts file).
+func typecheckFailed(cfg vetConfig, msg string, stderr io.Writer) int {
+	if cfg.SucceedOnTypecheckFailure {
+		_ = writeFacts(&cfg, analysis.NewDirectives())
+		return 0
+	}
+	fmt.Fprintln(stderr, msg)
+	return 1
+}
+
+// writeFacts persists this unit's exported scratch annotations for
+// dependent units. go vet requires the file to exist even when empty.
+func writeFacts(cfg *vetConfig, dirs *analysis.Directives) error {
+	if cfg.VetxOutput == "" {
+		return nil
+	}
+	data, err := dirs.EncodeFacts(cfg.ImportPath)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(cfg.VetxOutput, data, 0o666)
+}
+
+// cfgImporter resolves imports from the export data files the go
+// command already built for this unit.
+type cfgImporter struct {
+	cfg *vetConfig
+	gc  types.Importer
+}
+
+func (c *cfgImporter) Import(path string) (*types.Package, error) {
+	if r, ok := c.cfg.ImportMap[path]; ok {
+		path = r
+	}
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return c.gc.Import(path)
+}
+
+func (c *cfgImporter) lookup(path string) (io.ReadCloser, error) {
+	f, ok := c.cfg.PackageFile[path]
+	if !ok {
+		return nil, fmt.Errorf("no export data for %q in vet config", path)
+	}
+	return os.Open(f)
+}
+
+// emit prints findings: plain "file:line:col: analyzer: message" lines
+// to stderr, or (with -json) a pkg -> analyzer -> diagnostics object
+// to stdout, mirroring go vet's shapes.
+func emit(findings []analysis.Finding, jsonOut bool, stdout, stderr io.Writer) {
+	if !jsonOut {
+		for _, f := range findings {
+			fmt.Fprintf(stderr, "%s: %s: %s\n", f.Posn, f.Analyzer, f.Message)
+		}
+		return
+	}
+	type jsonDiag struct {
+		Posn    string `json:"posn"`
+		Message string `json:"message"`
+	}
+	out := make(map[string]map[string][]jsonDiag)
+	for _, f := range findings {
+		byAnalyzer := out[f.PkgPath]
+		if byAnalyzer == nil {
+			byAnalyzer = make(map[string][]jsonDiag)
+			out[f.PkgPath] = byAnalyzer
+		}
+		byAnalyzer[f.Analyzer] = append(byAnalyzer[f.Analyzer], jsonDiag{Posn: f.Posn.String(), Message: f.Message})
+	}
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "\t")
+	_ = enc.Encode(out)
+}

@@ -1,0 +1,275 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Directive grammar (documented in DESIGN.md S8):
+//
+//	//caft:deterministic
+//	    In a package doc comment. Declares that the package's outputs
+//	    must be byte-identical across runs, worker counts and
+//	    platforms; enables the maporder and nondet analyzers.
+//
+//	//caft:unordered-ok <reason>
+//	//caft:nondet-ok <reason>
+//	    On the flagged line, or the line directly above it. Suppresses
+//	    one maporder (resp. nondet) diagnostic. The reason is
+//	    mandatory; an empty reason is itself a diagnostic.
+//
+//	//caft:scratch [safe=Method]
+//	    In a method or function doc comment. Declares that the result
+//	    aliases scratch memory owned by the receiver, overwritten by
+//	    the next call; enables the scratchalias analyzer at every call
+//	    site. safe= names the copying variant callers should use to
+//	    retain the result.
+//
+// Like //go:build and friends, the comments must start at the
+// beginning of the line with no space after "//".
+const (
+	dirDeterministic = "//caft:deterministic"
+	dirUnorderedOK   = "//caft:unordered-ok"
+	dirNondetOK      = "//caft:nondet-ok"
+	dirScratch       = "//caft:scratch"
+)
+
+// ScratchInfo describes one //caft:scratch annotation.
+type ScratchInfo struct {
+	Safe string `json:"safe,omitempty"` // copying variant to steer callers to, if any
+}
+
+// LineDirective is one //caft:unordered-ok or //caft:nondet-ok
+// suppression, anchored to the source line its comment starts on.
+type LineDirective struct {
+	Kind   string // "unordered-ok" or "nondet-ok"
+	Reason string
+	Pos    token.Pos
+	used   bool
+}
+
+// Directives indexes every //caft: directive of a set of loaded
+// packages. It is the repo-grown substitute for go/analysis facts:
+// the caftvet driver builds one index over all packages of a load (so
+// a scratch annotation in internal/sched is visible while analyzing
+// internal/core), and in `go vet -vettool` mode the scratch entries
+// of each package travel between compilation units as JSON facts.
+type Directives struct {
+	deterministic map[string]bool
+	scratch       map[string]ScratchInfo            // see scratchKey
+	lines         map[string]map[int]*LineDirective // filename -> line
+}
+
+// NewDirectives returns an empty index.
+func NewDirectives() *Directives {
+	return &Directives{
+		deterministic: make(map[string]bool),
+		scratch:       make(map[string]ScratchInfo),
+		lines:         make(map[string]map[int]*LineDirective),
+	}
+}
+
+// AddPackage scans one loaded package's comments into the index.
+func (d *Directives) AddPackage(p *Package) {
+	for _, f := range p.Syntax {
+		d.addFile(p, f)
+	}
+}
+
+func (d *Directives) addFile(p *Package, f *ast.File) {
+	if f.Doc != nil {
+		for _, c := range f.Doc.List {
+			if strings.TrimRight(c.Text, " \t") == dirDeterministic {
+				d.deterministic[p.PkgPath] = true
+			}
+		}
+	}
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if ok && fd.Doc != nil {
+			for _, c := range fd.Doc.List {
+				if rest, ok := cutDirective(c.Text, dirScratch); ok {
+					d.scratch[scratchKeyAST(p.PkgPath, fd)] = parseScratch(rest)
+				}
+			}
+		}
+	}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			var kind, rest string
+			if r, ok := cutDirective(c.Text, dirUnorderedOK); ok {
+				kind, rest = "unordered-ok", r
+			} else if r, ok := cutDirective(c.Text, dirNondetOK); ok {
+				kind, rest = "nondet-ok", r
+			} else {
+				continue
+			}
+			posn := p.Fset.Position(c.Pos())
+			byLine := d.lines[posn.Filename]
+			if byLine == nil {
+				byLine = make(map[int]*LineDirective)
+				d.lines[posn.Filename] = byLine
+			}
+			byLine[posn.Line] = &LineDirective{
+				Kind:   kind,
+				Reason: strings.TrimSpace(rest),
+				Pos:    c.Pos(),
+			}
+		}
+	}
+}
+
+// cutDirective reports whether line is the given directive, returning
+// the argument text after it. "//caft:scratchpad" must not match
+// "//caft:scratch", so the directive must be followed by a space or
+// end-of-comment.
+func cutDirective(line, dir string) (rest string, ok bool) {
+	if !strings.HasPrefix(line, dir) {
+		return "", false
+	}
+	rest = line[len(dir):]
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return "", false
+	}
+	return rest, true
+}
+
+func parseScratch(rest string) ScratchInfo {
+	var info ScratchInfo
+	for _, f := range strings.Fields(rest) {
+		if v, ok := strings.CutPrefix(f, "safe="); ok {
+			info.Safe = v
+		}
+	}
+	return info
+}
+
+// Deterministic reports whether pkgPath carries //caft:deterministic.
+func (d *Directives) Deterministic(pkgPath string) bool { return d.deterministic[pkgPath] }
+
+// Scratch looks up the //caft:scratch annotation of a function or
+// method, if any.
+func (d *Directives) Scratch(fn *types.Func) (ScratchInfo, bool) {
+	info, ok := d.scratch[scratchKeyFunc(fn)]
+	return info, ok
+}
+
+// SuppressedAt returns the unordered-ok / nondet-ok directive covering
+// pos: one whose comment starts on the same line as pos or on the line
+// directly above. The returned directive is marked used, which feeds
+// the unused-suppression check.
+func (d *Directives) SuppressedAt(fset *token.FileSet, pos token.Pos, kind string) (*LineDirective, bool) {
+	posn := fset.Position(pos)
+	byLine := d.lines[posn.Filename]
+	if byLine == nil {
+		return nil, false
+	}
+	for _, line := range []int{posn.Line, posn.Line - 1} {
+		if ld := byLine[line]; ld != nil && ld.Kind == kind {
+			ld.used = true
+			return ld, true
+		}
+	}
+	return nil, false
+}
+
+// UnusedIn returns the suppression directives of one file that no
+// diagnostic consulted, in line order. A suppression with nothing to
+// suppress is stale and reported by the analyzer that owns its kind.
+func (d *Directives) UnusedIn(fset *token.FileSet, f *ast.File, kind string) []*LineDirective {
+	posn := fset.Position(f.Pos())
+	byLine := d.lines[posn.Filename]
+	var out []*LineDirective
+	for _, ld := range byLine { //caft:unordered-ok sorted by position below
+		if !ld.used && ld.Kind == kind {
+			out = append(out, ld)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
+	return out
+}
+
+// scratchKeyAST derives the lookup key from syntax: "pkg.Type.Method"
+// for methods, "pkg.Func" for plain functions.
+func scratchKeyAST(pkgPath string, fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return pkgPath + "." + fd.Name.Name
+	}
+	t := fd.Recv.List[0].Type
+	for {
+		switch u := t.(type) {
+		case *ast.StarExpr:
+			t = u.X
+		case *ast.IndexExpr: // generic receiver
+			t = u.X
+		case *ast.IndexListExpr:
+			t = u.X
+		default:
+			name := "?"
+			if id, ok := t.(*ast.Ident); ok {
+				name = id.Name
+			}
+			return pkgPath + "." + name + "." + fd.Name.Name
+		}
+	}
+}
+
+// scratchKeyFunc derives the same key from a types.Func at a call site.
+func scratchKeyFunc(fn *types.Func) string {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return "." + fn.Name()
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return pkg.Path() + "." + fn.Name()
+	}
+	rt := sig.Recv().Type()
+	if p, ok := rt.(*types.Pointer); ok {
+		rt = p.Elem()
+	}
+	name := "?"
+	if n, ok := rt.(*types.Named); ok {
+		name = n.Obj().Name()
+	} else if n, ok := rt.(interface{ Obj() *types.TypeName }); ok {
+		name = n.Obj().Name()
+	}
+	return pkg.Path() + "." + name + "." + fn.Name()
+}
+
+// scratchFacts is the serialized fact format exchanged between
+// compilation units in vettool mode.
+type scratchFacts struct {
+	Scratch map[string]ScratchInfo `json:"scratch,omitempty"`
+}
+
+// EncodeFacts serializes the scratch annotations declared by pkgPath.
+func (d *Directives) EncodeFacts(pkgPath string) ([]byte, error) {
+	out := scratchFacts{Scratch: make(map[string]ScratchInfo)}
+	for k, v := range d.scratch { //caft:unordered-ok json.Marshal sorts map keys
+		if strings.HasPrefix(k, pkgPath+".") {
+			out.Scratch[k] = v
+		}
+	}
+	return json.Marshal(out)
+}
+
+// DecodeFacts merges a dependency's serialized facts into the index.
+func (d *Directives) DecodeFacts(data []byte) error {
+	if len(data) == 0 {
+		return nil
+	}
+	var in scratchFacts
+	if err := json.Unmarshal(data, &in); err != nil {
+		return fmt.Errorf("decoding caftvet facts: %v", err)
+	}
+	for k, v := range in.Scratch { //caft:unordered-ok map-to-map merge is order-insensitive
+		d.scratch[k] = v
+	}
+	return nil
+}

@@ -1,0 +1,140 @@
+// Package errsentinel flags == and != comparisons (and switch cases)
+// against exported error sentinels such as sim.ErrTaskLost or
+// dag.ErrCycle.
+//
+// Sentinels travel: the service layer wraps scheduling errors with
+// request context, the experiment pool wraps replay errors with the
+// work unit that produced them, and a future multi-node caftd will
+// wrap them again at the RPC boundary. A direct comparison is correct
+// only until the first wrap; errors.Is is correct forever. Unlike
+// maporder and nondet this check is not gated on
+// //caft:deterministic and has no suppression directive — there is no
+// situation in this module where == against a sentinel beats
+// errors.Is — but it is annotation-driven in the same spirit: any
+// package-level exported `var Err...` of an error type is treated as
+// a sentinel, so new sentinels are covered the day they are declared.
+//
+// Comparisons with nil stay untouched: `err != nil` is the idiomatic
+// presence check, not a sentinel test.
+package errsentinel
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"caft/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "errsentinel",
+	Doc:  "flags ==/!= comparisons against exported Err... sentinels; use errors.Is",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				checkBinary(pass, n)
+			case *ast.SwitchStmt:
+				checkSwitch(pass, n)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func checkBinary(pass *analysis.Pass, be *ast.BinaryExpr) {
+	if be.Op != token.EQL && be.Op != token.NEQ {
+		return
+	}
+	for _, pair := range [2][2]ast.Expr{{be.X, be.Y}, {be.Y, be.X}} {
+		sent, other := pair[0], pair[1]
+		name, ok := sentinel(pass, sent)
+		if !ok || isNil(pass, other) {
+			continue
+		}
+		op := "errors.Is(err, " + name + ")"
+		if be.Op == token.NEQ {
+			op = "!" + op
+		}
+		pass.Reportf(be.Pos(), "comparison with sentinel %s breaks when the error is wrapped; use %s", name, op)
+		return
+	}
+}
+
+func checkSwitch(pass *analysis.Pass, sw *ast.SwitchStmt) {
+	if sw.Tag == nil {
+		// `switch { case err == ErrX: }` — the binary comparisons
+		// inside are caught by checkBinary.
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[sw.Tag]
+	if !ok || !isErrorish(tv.Type) {
+		return
+	}
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			if name, ok := sentinel(pass, e); ok {
+				pass.Reportf(e.Pos(), "switch case compares the error against sentinel %s, which breaks when it is wrapped; use if/else with errors.Is(err, %s)", name, name)
+			}
+		}
+	}
+}
+
+// sentinel reports whether e denotes an exported package-level
+// `var Err...` of an error type, returning its name as written.
+func sentinel(pass *analysis.Pass, e ast.Expr) (string, bool) {
+	var id *ast.Ident
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return "", false
+	}
+	v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+	if !ok || !v.Exported() || !strings.HasPrefix(v.Name(), "Err") || len(v.Name()) <= len("Err") {
+		return "", false
+	}
+	if v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return "", false
+	}
+	if !isErrorish(v.Type()) {
+		return "", false
+	}
+	return exprString(e), true
+}
+
+func isErrorish(t types.Type) bool {
+	errIface, _ := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	return errIface != nil && types.Implements(t, errIface)
+}
+
+func isNil(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[ast.Unparen(e)]
+	return ok && tv.IsNil()
+}
+
+// exprString renders `ErrCycle` or `dag.ErrCycle` as written.
+func exprString(e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		if p, ok := x.X.(*ast.Ident); ok {
+			return p.Name + "." + x.Sel.Name
+		}
+		return x.Sel.Name
+	}
+	return ""
+}

@@ -1,0 +1,16 @@
+package errsentinel_test
+
+import (
+	"testing"
+
+	"caft/internal/analysis/analysistest"
+	"caft/internal/analysis/passes/errsentinel"
+)
+
+func TestErrSentinel(t *testing.T) {
+	analysistest.Run(t, errsentinel.Analyzer, "testdata/src/a")
+}
+
+func TestImportedSentinel(t *testing.T) {
+	analysistest.Run(t, errsentinel.Analyzer, "testdata/src/b")
+}

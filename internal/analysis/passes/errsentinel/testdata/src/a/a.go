@@ -1,0 +1,64 @@
+// Package a exercises errsentinel: direct comparisons and switch
+// cases against exported sentinels.
+package a
+
+import (
+	"errors"
+	"fmt"
+)
+
+var (
+	ErrTaskLost = errors.New("task lost")
+	ErrCycle    = errors.New("cycle")
+	errInternal = errors.New("internal") // unexported: not a public contract
+	NotAnError  = 42
+)
+
+func Direct(err error) bool {
+	return err == ErrTaskLost // want `comparison with sentinel ErrTaskLost breaks when the error is wrapped; use errors\.Is\(err, ErrTaskLost\)`
+}
+
+func Negated(err error) bool {
+	return err != ErrCycle // want `use !errors\.Is\(err, ErrCycle\)`
+}
+
+func Flipped(err error) bool {
+	return ErrTaskLost == err // want `comparison with sentinel ErrTaskLost`
+}
+
+func Wrapped(err error) bool {
+	// The failure mode the analyzer exists for: this is false for
+	// fmt.Errorf("replica 3: %w", ErrTaskLost).
+	return errors.Is(err, ErrTaskLost) // the fix, never flagged
+}
+
+func NilIsFine(err error) bool {
+	return err != nil && err == error(nil)
+}
+
+func UnexportedIsFine(err error) bool {
+	return err == errInternal
+}
+
+func NotErrPrefix(x int) bool {
+	return x == NotAnError
+}
+
+func Switch(err error) string {
+	switch err {
+	case nil:
+		return "ok"
+	case ErrTaskLost: // want `switch case compares the error against sentinel ErrTaskLost.*errors\.Is\(err, ErrTaskLost\)`
+		return "lost"
+	default:
+		return fmt.Sprint(err)
+	}
+}
+
+func TaglessSwitch(err error) string {
+	switch {
+	case err == ErrCycle: // want `comparison with sentinel ErrCycle`
+		return "cycle"
+	}
+	return ""
+}

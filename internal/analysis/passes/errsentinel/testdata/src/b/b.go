@@ -1,0 +1,9 @@
+// Package b proves sentinels imported from another package are
+// caught: the comparison renders qualified, exactly as written.
+package b
+
+import "caft/internal/analysis/passes/errsentinel/testdata/src/a"
+
+func Imported(err error) bool {
+	return err == a.ErrTaskLost // want `comparison with sentinel a\.ErrTaskLost.*errors\.Is\(err, a\.ErrTaskLost\)`
+}

@@ -1,0 +1,127 @@
+// Package maporder flags range statements over maps inside packages
+// marked //caft:deterministic.
+//
+// Go randomizes map iteration order, so any map range on a path that
+// feeds figures, golden TSVs, schedule bytes or caftd responses is a
+// latent reproducibility bug: it works until the day the hash seed
+// disagrees. In a deterministic package every map iteration must
+// either be restructured over sorted keys, or carry an explicit
+// //caft:unordered-ok <reason> stating why order cannot leak into any
+// output (commutative reduction, set membership, ...).
+//
+// One idiom is recognized as inherently safe and exempted without an
+// annotation: the canonical key-collection loop
+//
+//	for k := range m {
+//		keys = append(keys, k)
+//	}
+//
+// whose whole point is to feed a sort. Anything more elaborate — even
+// if it happens to be commutative — needs the annotation, because the
+// analyzer cannot prove commutativity and silent exemptions are how
+// determinism regressions happen.
+package maporder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"caft/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc:  "flags unordered map iteration in //caft:deterministic packages",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	det := pass.Directives.Deterministic(pass.Pkg.Path())
+	for _, f := range pass.Files {
+		if det {
+			checkFile(pass, f)
+		}
+		// A suppression nothing consulted is stale: either the loop
+		// below it disappeared, or the package lost (or never had)
+		// its //caft:deterministic marking. Either way it documents
+		// an exemption that is not being granted.
+		for _, ld := range pass.Directives.UnusedIn(pass.Fset, f, "unordered-ok") {
+			pass.Reportf(ld.Pos, "stale //caft:unordered-ok: no suppressed map iteration on this or the next line (is the package marked //caft:deterministic?)")
+		}
+	}
+	return nil, nil
+}
+
+func checkFile(pass *analysis.Pass, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.TypesInfo.Types[rs.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		// `for range m` (and `for _ = range m`) binds neither key nor
+		// value: the body runs len(m) times but observes no order.
+		if rs.Key == nil {
+			return true
+		}
+		if k, ok := rs.Key.(*ast.Ident); ok && k.Name == "_" && rs.Value == nil {
+			return true
+		}
+		if ld, ok := pass.Directives.SuppressedAt(pass.Fset, rs.Pos(), "unordered-ok"); ok {
+			if ld.Reason == "" {
+				pass.Reportf(rs.Pos(), "//caft:unordered-ok on this loop needs a reason: say why iteration order cannot reach an output")
+			}
+			return true
+		}
+		if isKeyCollect(pass, rs) {
+			return true
+		}
+		pass.Reportf(rs.Pos(), "iteration over map %s in deterministic package %s: order is randomized; range over sorted keys or annotate the loop with //caft:unordered-ok <reason>", types.TypeString(tv.Type, types.RelativeTo(pass.Pkg)), pass.Pkg.Path())
+		return true
+	})
+}
+
+// isKeyCollect recognizes `for k := range m { keys = append(keys, k) }`
+// — the key-collection prologue of sorted iteration, whose body cannot
+// observe order.
+func isKeyCollect(pass *analysis.Pass, rs *ast.RangeStmt) bool {
+	key, ok := rs.Key.(*ast.Ident)
+	if !ok || key.Name == "_" || rs.Value != nil {
+		return false
+	}
+	if len(rs.Body.List) != 1 {
+		return false
+	}
+	as, ok := rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return false
+	}
+	lhs, ok := as.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 || call.Ellipsis != token.NoPos {
+		return false
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok || fn.Name != "append" {
+		return false
+	}
+	if obj := pass.TypesInfo.Uses[fn]; obj == nil || obj.Parent() != types.Universe {
+		return false
+	}
+	base, ok := call.Args[0].(*ast.Ident)
+	if !ok || base.Name != lhs.Name {
+		return false
+	}
+	arg, ok := call.Args[1].(*ast.Ident)
+	return ok && arg.Name == key.Name
+}

@@ -1,0 +1,18 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"caft/internal/analysis/analysistest"
+	"caft/internal/analysis/passes/maporder"
+)
+
+func TestMapOrder(t *testing.T) {
+	analysistest.Run(t, maporder.Analyzer, "testdata/src/a")
+}
+
+// TestNonDeterministicPackageSilent loads the same shapes without the
+// package directive: only the stale-suppression diagnostics may fire.
+func TestNonDeterministicPackageSilent(t *testing.T) {
+	analysistest.Run(t, maporder.Analyzer, "testdata/src/plain")
+}

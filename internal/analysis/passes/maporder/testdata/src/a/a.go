@@ -1,0 +1,83 @@
+// Package a exercises maporder: deterministic package, every flavor
+// of map range.
+//
+//caft:deterministic
+package a
+
+import "sort"
+
+var counts = map[string]int{"x": 1, "y": 2}
+
+// Flagged: order leaks straight into the output slice.
+func Leaky() []string {
+	var out []string
+	for k, v := range counts { // want `iteration over map map\[string\]int in deterministic package .*testdata/src/a: order is randomized`
+		_ = v
+		out = append(out, k+"!")
+	}
+	return out
+}
+
+// Exempt without annotation: the canonical key-collection loop.
+func Sorted() []string {
+	var keys []string
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Exempt: no key or value bound, so no order observed.
+func Count() int {
+	n := 0
+	for range counts {
+		n++
+	}
+	return n
+}
+
+// Suppressed with a reason: commutative reduction.
+func Sum() int {
+	n := 0
+	//caft:unordered-ok sum is commutative, order cannot reach the result
+	for _, v := range counts {
+		n += v
+	}
+	return n
+}
+
+// Suppressed on the same line.
+func SumInline() int {
+	n := 0
+	for _, v := range counts { //caft:unordered-ok commutative sum
+		n += v
+	}
+	return n
+}
+
+// A suppression without a reason is itself a finding, anchored to the
+// loop it covers.
+func SumNoReason() int {
+	n := 0
+	//caft:unordered-ok
+	for _, v := range counts { // want `//caft:unordered-ok on this loop needs a reason`
+		n += v
+	}
+	return n
+}
+
+// A suppression with no map range under it is stale.
+func Stale() int {
+	//caft:unordered-ok nothing here anymore // want `stale //caft:unordered-ok`
+	return len(counts)
+}
+
+// Ranging a slice is never flagged.
+func SliceOK(xs []int) int {
+	n := 0
+	for _, v := range xs {
+		n += v
+	}
+	return n
+}

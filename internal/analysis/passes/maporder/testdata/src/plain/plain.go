@@ -1,0 +1,23 @@
+// Package plain has no //caft:deterministic directive: map iteration
+// is not flagged, and any suppression directive is stale by
+// definition.
+package plain
+
+var counts = map[string]int{"x": 1}
+
+func Leaky() []string {
+	var out []string
+	for k := range counts {
+		out = append(out, k, k)
+	}
+	return out
+}
+
+func Suppressed() int {
+	n := 0
+	//caft:unordered-ok pointless here // want `stale //caft:unordered-ok`
+	for _, v := range counts {
+		n += v
+	}
+	return n
+}

@@ -1,0 +1,18 @@
+package nondet_test
+
+import (
+	"testing"
+
+	"caft/internal/analysis/analysistest"
+	"caft/internal/analysis/passes/nondet"
+)
+
+func TestNondet(t *testing.T) {
+	analysistest.Run(t, nondet.Analyzer, "testdata/src/a")
+}
+
+// TestMainExempt: a //caft:deterministic package main produces no
+// findings — binaries own the process boundary.
+func TestMainExempt(t *testing.T) {
+	analysistest.Run(t, nondet.Analyzer, "testdata/src/cmdmain")
+}

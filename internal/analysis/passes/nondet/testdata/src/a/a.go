@@ -1,0 +1,58 @@
+// Package a exercises nondet: ambient time, global rand, env reads
+// and scheduler geometry in a deterministic package.
+//
+//caft:deterministic
+package a
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+	"os"
+	"runtime"
+	"time"
+)
+
+func Clock() (int64, float64) {
+	t := time.Now()    // want `call to time\.Now in deterministic package .* reads the wall clock`
+	d := time.Since(t) // want `call to time\.Since in deterministic package .* reads the wall clock`
+	return t.Unix(), d.Seconds()
+}
+
+func GlobalRand() int {
+	return rand.Intn(10) // want `call to math/rand\.Intn .* draws from the process-global generator`
+}
+
+func GlobalRandV2() uint64 {
+	return randv2.Uint64() // want `call to math/rand/v2\.Uint64 .* draws from the process-global generator`
+}
+
+// Methods on an explicitly seeded generator are the sanctioned path.
+func SeededRand() int {
+	rng := rand.New(rand.NewSource(1))
+	return rng.Intn(10)
+}
+
+func Env() string {
+	return os.Getenv("CAFT_MODE") // want `call to os\.Getenv .* depend on the process environment`
+}
+
+func Workers() int {
+	return runtime.GOMAXPROCS(0) // want `call to runtime\.GOMAXPROCS .* varies with the machine`
+}
+
+// Suppressed: the pool size cannot reach any output because results
+// merge in fixed order.
+func PoolSize() int {
+	//caft:nondet-ok pool size only bounds concurrency; merge order is fixed
+	return runtime.GOMAXPROCS(0)
+}
+
+func PoolSizeNoReason() int {
+	//caft:nondet-ok
+	return runtime.NumCPU() // want `//caft:nondet-ok on this call needs a reason`
+}
+
+func Stale() int {
+	//caft:nondet-ok nothing nondeterministic left // want `stale //caft:nondet-ok`
+	return 7
+}

@@ -1,0 +1,17 @@
+// Command cmdmain proves package main is exempt: binaries own the
+// process boundary, so wall-clock timing and environment reads there
+// are deliberate even under //caft:deterministic.
+//
+//caft:deterministic
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+)
+
+func main() {
+	start := time.Now()
+	fmt.Fprintln(os.Stderr, "mode:", os.Getenv("CAFT_MODE"), "elapsed:", time.Since(start))
+}

@@ -1,0 +1,20 @@
+// Package passes registers the caftvet analyzer suite.
+package passes
+
+import (
+	"caft/internal/analysis"
+	"caft/internal/analysis/passes/errsentinel"
+	"caft/internal/analysis/passes/maporder"
+	"caft/internal/analysis/passes/nondet"
+	"caft/internal/analysis/passes/scratchalias"
+)
+
+// All returns the full suite in stable order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		errsentinel.Analyzer,
+		maporder.Analyzer,
+		nondet.Analyzer,
+		scratchalias.Analyzer,
+	}
+}

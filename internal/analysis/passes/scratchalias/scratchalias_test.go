@@ -1,0 +1,12 @@
+package scratchalias_test
+
+import (
+	"testing"
+
+	"caft/internal/analysis/analysistest"
+	"caft/internal/analysis/passes/scratchalias"
+)
+
+func TestScratchAlias(t *testing.T) {
+	analysistest.Run(t, scratchalias.Analyzer, "testdata/src/a")
+}

@@ -1,0 +1,138 @@
+// Package a exercises scratchalias: every legal and illegal way to
+// consume a //caft:scratch result.
+package a
+
+// State mimics sched.State: Hot returns a reused scratch bitset.
+type State struct {
+	hot  []bool
+	keep []bool
+}
+
+// Hot returns the processors currently hosting work.
+//
+//caft:scratch safe=HotCopy
+func (s *State) Hot() []bool {
+	for i := range s.hot {
+		s.hot[i] = false
+	}
+	return s.hot
+}
+
+// HotCopy returns a freshly allocated copy of Hot, safe to retain.
+func (s *State) HotCopy() []bool {
+	return append([]bool(nil), s.Hot()...)
+}
+
+// hotView propagates the scratch contract outward: returning the
+// scratch from a function itself marked //caft:scratch is the one
+// legal way to return it.
+//
+//caft:scratch safe=HotCopy
+func (s *State) hotView() []bool {
+	return s.Hot()
+}
+
+var global []bool
+
+// --- violations ---
+
+func StoreField(s *State) {
+	s.keep = s.Hot() // want `result of //caft:scratch \(\*State\)\.Hot stored into field or variable keep; the next call overwrites it in place — retain a copy with HotCopy`
+}
+
+func StoreGlobal(s *State) {
+	global = s.Hot() // want `stored into package variable global.*HotCopy`
+}
+
+var globalInit = pkgState.Hot() // want `stored into package variable globalInit`
+
+var pkgState = &State{hot: make([]bool, 4)}
+
+func AppendDirect(s *State, sink [][]bool) [][]bool {
+	return append(sink, s.Hot()) // want `appended into a slice`
+}
+
+func ReturnDirect(s *State) []bool {
+	return s.Hot() // want `returned to the caller`
+}
+
+func CompositeLit(s *State) {
+	_ = [][]bool{s.Hot()} // want `placed in a composite literal`
+}
+
+func TrackedLocal(s *State) {
+	v := s.Hot()
+	s.keep = v // want `stored into field or variable keep`
+}
+
+func TrackedAppend(s *State, sink [][]bool) [][]bool {
+	v := s.Hot()
+	return append(sink, v) // want `appended into a slice`
+}
+
+func TrackedReturn(s *State) []bool {
+	v := s.Hot()
+	return v // want `returned to the caller`
+}
+
+func TrackedClosure(s *State) func() int {
+	v := s.Hot()
+	return func() int { // closures may run after the next overwrite
+		return len(v) // want `captured by a function literal`
+	}
+}
+
+func StoreElem(s *State, m map[int][]bool) {
+	m[0] = s.Hot() // want `stored into a map or slice element`
+}
+
+func StoreThroughPointer(s *State, p *[]bool) {
+	*p = s.Hot() // want `stored through a pointer`
+}
+
+// --- legal uses ---
+
+// Consuming before the next call is the whole point.
+func CountHot(s *State) int {
+	n := 0
+	for _, h := range s.Hot() {
+		if h {
+			n++
+		}
+	}
+	return n
+}
+
+// A local consumed in place is fine.
+func LocalConsumed(s *State) int {
+	v := s.Hot()
+	n := 0
+	for _, h := range v {
+		if h {
+			n++
+		}
+	}
+	return n
+}
+
+// Passing down into an ordinary call hands the callee the same
+// obligation; it returns before the next overwrite can happen.
+func PassedDown(s *State) int {
+	return countTrue(s.Hot())
+}
+
+func countTrue(bs []bool) int {
+	n := 0
+	for _, b := range bs {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+// The safe variant may go anywhere.
+func CopyRetained(s *State) {
+	s.keep = s.HotCopy()
+	global = s.HotCopy()
+}

@@ -10,6 +10,8 @@
 //   - for fault-tolerant schedules with ε+1 replicas, the replicated
 //     work bound multiplies the work by the replication degree (active
 //     replication executes every copy).
+//
+//caft:deterministic
 package bounds
 
 import (

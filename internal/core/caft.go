@@ -45,6 +45,8 @@
 // intra-processor suppression rule, which is likewise unsafe when the
 // co-located replica is chain-fed. PaperLocking implements eq. (7)
 // literally and is kept for ablation studies.
+//
+//caft:deterministic
 package core
 
 import (
@@ -477,7 +479,9 @@ type fullPlan struct {
 func (c *scheduler) bestFull(t dag.TaskID, copyIdx int, locked procSet) (*fullPlan, error) {
 	st := c.st
 	base := st.FullSources(t)
-	hosting := st.ProcsOf(t)
+	// The run closure below is invoked twice with ProbeReplica calls in
+	// between, which recycle the ProcsOf scratch buffer.
+	hosting := st.ProcsOfCopy(t)
 	remaining := c.eps - copyIdx
 	planFor := func(proc int) ([]sched.SourceSet, procSet) {
 		out := append([]sched.SourceSet(nil), base...)

@@ -8,6 +8,8 @@
 // and Efficient Algorithms for Fault Tolerant Scheduling on Heterogeneous
 // Platforms" (INRIA RR-6606, 2008): G = (V, E) with an edge cost function
 // V(ti, tj) giving the volume of data ti sends to tj.
+//
+//caft:deterministic
 package dag
 
 import (

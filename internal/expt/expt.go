@@ -4,6 +4,8 @@
 // through the crash simulator, and the per-granularity averages of the
 // normalized latency and of the fault-tolerance overhead are reported —
 // the data behind Figures 1-6.
+//
+//caft:deterministic
 package expt
 
 import (

@@ -57,7 +57,7 @@ func forEachUnit(workers, n int, fn func(u int) error, onDone func(u int)) error
 		return nil
 	}
 	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+		workers = runtime.GOMAXPROCS(0) //caft:nondet-ok worker count; results merge in unit order
 	}
 	if workers > n {
 		workers = n

@@ -77,7 +77,7 @@ func RunScale(w, timing io.Writer, sizes []int, graphs int, seed int64, workers 
 		for a := range scaleAlgos {
 			var s *sched.Schedule
 			var err error
-			start := time.Now()
+			start := time.Now() //caft:nondet-ok wall-clock timing reported as stats only
 			switch a {
 			case 0:
 				s, err = heft.Schedule(p, rng)
@@ -95,7 +95,7 @@ func RunScale(w, timing io.Writer, sizes []int, graphs int, seed int64, workers 
 				lat:  s.ScheduledLatency() / DefaultNorm,
 				reps: float64(s.ReplicaCount()),
 				msgs: float64(s.MessageCount()),
-				ns:   time.Since(start).Nanoseconds(),
+				ns:   time.Since(start).Nanoseconds(), //caft:nondet-ok wall-clock timing reported as stats only
 			}
 		}
 		return out, nil

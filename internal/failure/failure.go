@@ -18,6 +18,8 @@
 // Monte-Carlo estimation of unreliability (the probability that a
 // schedule loses a task) and of expected latency over sampled scenarios
 // lives in package expt (RunReliability); see DESIGN.md S4.
+//
+//caft:deterministic
 package failure
 
 import (
@@ -121,7 +123,7 @@ func (t *Trace) Sample(_ *rand.Rand, dst map[int]float64) map[int]float64 {
 	}
 	s := t.Scenarios[t.next%len(t.Scenarios)]
 	t.next++
-	for p, tau := range s {
+	for p, tau := range s { //caft:unordered-ok map-to-map copy is order-insensitive
 		dst[p] = tau
 	}
 	return dst
@@ -201,7 +203,7 @@ type Censor struct {
 // Sample implements Model.
 func (c *Censor) Sample(rng *rand.Rand, dst map[int]float64) map[int]float64 {
 	dst = c.Model.Sample(rng, dst)
-	for p, tau := range dst {
+	for p, tau := range dst { //caft:unordered-ok per-key censor; deletions are order-insensitive
 		if tau > c.Horizon {
 			delete(dst, p)
 		}

@@ -4,6 +4,8 @@
 // the structured families the propositions reason about (forks,
 // outforests, chains, joins, diamonds) and two realistic workflow shapes
 // (a Montage-like mosaicking pipeline and an FFT butterfly).
+//
+//caft:deterministic
 package gen
 
 import (

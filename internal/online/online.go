@@ -30,6 +30,8 @@
 // scope, so the engine's state is pristine after every Run and a
 // single Engine replays many traces with near-zero steady-state
 // allocation (TestOnlineEventAllocPin).
+//
+//caft:deterministic
 package online
 
 import (
@@ -379,7 +381,7 @@ func (e *Engine) reset(trace map[int]float64) {
 	// Failure trace, sorted by (time, processor). The insertion sort
 	// keeps the steady-state path allocation-free.
 	e.crashes = e.crashes[:0]
-	for p, tau := range trace {
+	for p, tau := range trace { //caft:unordered-ok sorted by (time, proc) just below
 		if p >= 0 && p < e.m {
 			e.crashes = append(e.crashes, crashEv{tau: tau, proc: p})
 		}

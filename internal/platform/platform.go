@@ -6,6 +6,8 @@
 // The communication time of edge (ti, tj) with ti on Pk and tj on Ph is
 // W(ti,tj) = V(ti,tj) * d(Pk,Ph), with d(Pk,Pk) = 0 (intra-processor data
 // movement is free).
+//
+//caft:deterministic
 package platform
 
 import (

@@ -26,6 +26,8 @@
 // let the replica start earlier, and commits the duplication when it
 // does. We implement the single-level (non-recursive) variant; see
 // DESIGN.md S3.
+//
+//caft:deterministic
 package ftbar
 
 import (

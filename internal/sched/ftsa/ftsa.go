@@ -10,6 +10,8 @@
 // the successor (unless a replica of the predecessor is co-located, in
 // which case the input is free), so the schedule carries at most
 // e(ε+1)² messages.
+//
+//caft:deterministic
 package ftsa
 
 import (

@@ -7,6 +7,8 @@
 // the earliest finish time, under the same communication model and
 // priority function as the fault-tolerant schedulers. Its latency is the
 // CAFT* denominator of the paper's overhead metric.
+//
+//caft:deterministic
 package heft
 
 import (

@@ -7,6 +7,8 @@
 // communication), replica and communication records, schedule
 // validation, and the priority-driven free-task list shared by the
 // list-scheduling heuristics.
+//
+//caft:deterministic
 package sched
 
 import (

@@ -1,0 +1,64 @@
+package sched
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"caft/internal/dag"
+	"caft/internal/gen"
+)
+
+// TestFreeAliasingContract pins the //caft:scratch contract on
+// Lister.Free: the returned slice aliases internal storage and is
+// invalidated by Pop/Take/MarkScheduled, while FreeCopy survives them.
+func TestFreeAliasingContract(t *testing.T) {
+	// Join(4): three roots feeding one sink, so three tasks start free.
+	g := gen.Join(4, 10)
+	p := prob(g, 2, 1)
+	l := NewLister(p, rand.New(rand.NewSource(1)))
+
+	aliased := l.Free()
+	copied := l.FreeCopy()
+	if !reflect.DeepEqual(aliased, copied) {
+		t.Fatalf("Free = %v, FreeCopy = %v; want equal before mutation", aliased, copied)
+	}
+	want := append([]dag.TaskID(nil), copied...)
+
+	popped, ok := l.Pop()
+	if !ok {
+		t.Fatal("Pop on a non-empty free list failed")
+	}
+	l.MarkScheduled(popped, 1)
+
+	if !reflect.DeepEqual(copied, want) {
+		t.Errorf("FreeCopy result changed by Pop/MarkScheduled: %v, want %v", copied, want)
+	}
+	// The aliased slice still has its original length but its contents
+	// were shifted in place by Pop's delete; equality with the snapshot
+	// would only hold by coincidence of which task was popped. Verify it
+	// genuinely aliases: the lister's live view must be a prefix of it.
+	live := l.Free()
+	if len(aliased) != len(want) {
+		t.Fatalf("aliased slice length changed: %d, want %d", len(aliased), len(want))
+	}
+	if !reflect.DeepEqual(aliased[:len(live)], live) {
+		t.Errorf("stale Free slice %v does not alias live view %v", aliased, live)
+	}
+
+	// FreeCopy of the new state differs from the pinned snapshot by
+	// exactly the popped task.
+	after := l.FreeCopy()
+	rest := append([]dag.TaskID(nil), after...)
+	rest = append(rest, popped)
+	sortTasks(rest)
+	sortTasks(want)
+	if !reflect.DeepEqual(rest, want) {
+		t.Errorf("free set after Pop = %v + popped %d, want %v", after, popped, want)
+	}
+}
+
+func sortTasks(ts []dag.TaskID) {
+	sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+}

@@ -267,6 +267,8 @@ func (st *State) Snapshot() *Schedule {
 // in-tree callers (core's bestOneToOne and bestFull) consume the bitset
 // before any further ProcsOf call; callers that need a stable snapshot
 // use ProcsOfCopy.
+//
+//caft:scratch safe=ProcsOfCopy
 func (st *State) ProcsOf(t dag.TaskID) []bool {
 	if st.hosting == nil {
 		st.hosting = make([]bool, st.m)
@@ -338,6 +340,8 @@ func (st *State) commonSlot(ready, dur float64, ids []int) float64 {
 
 // commResources returns the timeline IDs a transfer src->dst occupies.
 // The returned slice is scratch reused by the next call.
+//
+//caft:scratch
 func (st *State) commResources(src, dst int) []int {
 	ids := append(st.commIDs[:0], st.sendID(src), st.recvID(dst))
 	if st.clique {

@@ -53,7 +53,7 @@ func (c *cache) lookup(key hashKey) (e *entry, created bool) {
 // waiters always resolve; if every entry is in flight the cache
 // temporarily exceeds max rather than blocking.
 func (c *cache) evictLocked() {
-	for k, e := range c.m {
+	for k, e := range c.m { //caft:unordered-ok eviction victim is deliberately arbitrary
 		select {
 		case <-e.done:
 			delete(c.m, k)

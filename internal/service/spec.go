@@ -24,6 +24,8 @@
 //     batches on the expt work-unit pool (expt.EstimateReliability), so
 //     every response is a pure function of the request — byte-identical
 //     across runs and worker counts.
+//
+//caft:deterministic
 package service
 
 import (

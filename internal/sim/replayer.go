@@ -197,7 +197,7 @@ func (r *Replayer) setCrashed(crashed map[int]bool) {
 	for i := range r.crashed {
 		r.crashed[i] = false
 	}
-	for p, c := range crashed {
+	for p, c := range crashed { //caft:unordered-ok bitmap store is order-insensitive
 		if c && p >= 0 && p < len(r.crashed) {
 			r.crashed[p] = true
 		}

@@ -27,6 +27,8 @@
 // schedule by a Replayer; the package-level helpers build a throwaway
 // Replayer, while hot loops (package expt, the Monte-Carlo ablations)
 // hold one per schedule so repeated replays allocate near-zero.
+//
+//caft:deterministic
 package sim
 
 import (

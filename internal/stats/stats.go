@@ -1,6 +1,8 @@
 // Package stats provides the small set of descriptive statistics the
 // experiment harness reports: mean, standard deviation, 95% confidence
 // half-width and extrema.
+//
+//caft:deterministic
 package stats
 
 import "math"

@@ -26,6 +26,8 @@
 // intervals, ready time and gap index — to its exact prior state.
 //
 // The zero value of Timeline is an empty, ready-to-use timeline.
+//
+//caft:deterministic
 package timeline
 
 import (
@@ -88,7 +90,13 @@ func (tl *Timeline) Len() int { return len(tl.ivs) }
 
 // Intervals returns the reservations in start order. The returned slice
 // aliases internal storage and must not be modified.
+//
+//caft:scratch safe=IntervalsCopy
 func (tl *Timeline) Intervals() []Interval { return tl.ivs }
+
+// IntervalsCopy returns a freshly allocated copy of Intervals, safe to
+// retain across Add/Remove/UndoAdd.
+func (tl *Timeline) IntervalsCopy() []Interval { return append([]Interval(nil), tl.ivs...) }
 
 // Ready returns the latest reservation end (0 when empty): the
 // resource's ready time under the Append policy, i.e. the paper's

@@ -18,6 +18,8 @@
 // Graph implements sched.Network, so every scheduler in this repository
 // runs unchanged on rings, stars, meshes, tori, hypercubes and random
 // connected networks.
+//
+//caft:deterministic
 package topology
 
 import (

@@ -2,6 +2,8 @@
 // processor for task executions, and optional lanes for the send and
 // receive port occupation, which makes one-port contention visible at a
 // glance.
+//
+//caft:deterministic
 package viz
 
 import (
