@@ -38,31 +38,72 @@ import (
 	"caft/internal/service"
 )
 
+// timeouts bundles the connection-lifecycle deadlines of the HTTP
+// server. A long-running daemon must bound how long a connection may sit
+// in each phase, or a single slow-header client pins a connection (and
+// its goroutine) forever — the classic slowloris attack.
+type timeouts struct {
+	// readHeader bounds the wait for a complete request header.
+	readHeader time.Duration
+	// read bounds reading one full request (headers + body). Generous:
+	// request bodies are capped at 8 MiB by the handler, not streamed.
+	read time.Duration
+	// idle bounds how long a keep-alive connection may sit between
+	// requests.
+	idle time.Duration
+}
+
+// defaultTimeouts are the production defaults. There is deliberately no
+// WriteTimeout: response deadlines would have to cover the slowest
+// legitimate compute (large Monte-Carlo requests), and the compute pool
+// already bounds concurrent work.
+var defaultTimeouts = timeouts{readHeader: 5 * time.Second, read: 60 * time.Second, idle: 120 * time.Second}
+
 func main() {
 	var (
 		addr      = flag.String("addr", ":8080", "listen address")
 		workers   = flag.Int("workers", 0, "scheduling worker pool size (0 = all cores); never affects response bytes")
 		mcWorkers = flag.Int("mc-workers", 0, "reliability Monte-Carlo batch workers (0 = all cores); never affects response bytes")
 		cacheMax  = flag.Int("cache-max", 65536, "max cached responses (0 = unbounded)")
+		to        = defaultTimeouts
 	)
+	flag.DurationVar(&to.readHeader, "read-header-timeout", to.readHeader, "max wait for a complete request header (slowloris guard)")
+	flag.DurationVar(&to.read, "read-timeout", to.read, "max wait for a complete request")
+	flag.DurationVar(&to.idle, "idle-timeout", to.idle, "max keep-alive idle time between requests")
 	flag.Parse()
-	if err := run(*addr, *workers, *mcWorkers, *cacheMax); err != nil {
+	if err := run(*addr, *workers, *mcWorkers, *cacheMax, to); err != nil {
 		fmt.Fprintln(os.Stderr, "caftd:", err)
 		os.Exit(1)
 	}
 }
 
+// newServer builds the daemon's http.Server with its connection
+// deadlines applied; split from run so the slow-header e2e test drives
+// the same construction with tight timeouts.
+func newServer(addr string, svc *service.Service, to timeouts) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           service.NewHandler(svc),
+		ReadHeaderTimeout: to.readHeader,
+		ReadTimeout:       to.read,
+		IdleTimeout:       to.idle,
+	}
+}
+
 // run serves until SIGINT/SIGTERM, then drains in-flight requests.
-func run(addr string, workers, mcWorkers, cacheMax int) error {
+func run(addr string, workers, mcWorkers, cacheMax int, to timeouts) error {
 	if workers < 0 || mcWorkers < 0 {
 		return fmt.Errorf("worker counts must be non-negative")
 	}
 	if cacheMax < 0 {
 		return fmt.Errorf("-cache-max must be non-negative, got %d", cacheMax)
 	}
+	if to.readHeader <= 0 || to.read <= 0 || to.idle <= 0 {
+		return fmt.Errorf("server timeouts must be positive, got %+v", to)
+	}
 	svc := service.New(service.Config{Workers: workers, MCWorkers: mcWorkers, CacheMax: cacheMax})
 	defer svc.Close()
-	srv := &http.Server{Addr: addr, Handler: service.NewHandler(svc)}
+	srv := newServer(addr, svc, to)
 
 	errc := make(chan error, 1)
 	go func() {

@@ -4,12 +4,14 @@ import (
 	"bytes"
 	"encoding/json"
 	"flag"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"sync"
 	"testing"
+	"time"
 
 	"caft/internal/service"
 )
@@ -228,13 +230,65 @@ func TestOnlineModeEndToEnd(t *testing.T) {
 }
 
 func TestRunRejectsBadFlags(t *testing.T) {
-	if err := run(":0", -1, 0, 0); err == nil {
+	if err := run(":0", -1, 0, 0, defaultTimeouts); err == nil {
 		t.Error("negative -workers accepted")
 	}
-	if err := run(":0", 0, -2, 0); err == nil {
+	if err := run(":0", 0, -2, 0, defaultTimeouts); err == nil {
 		t.Error("negative -mc-workers accepted")
 	}
-	if err := run(":0", 0, 0, -1); err == nil {
+	if err := run(":0", 0, 0, -1, defaultTimeouts); err == nil {
 		t.Error("negative -cache-max accepted")
+	}
+	if err := run(":0", 0, 0, 0, timeouts{}); err == nil {
+		t.Error("zero server timeouts accepted")
+	}
+}
+
+// TestSlowHeaderClientDisconnected is the slowloris e2e test: a client
+// that dials, sends a partial request header and then stalls must be
+// disconnected once ReadHeaderTimeout elapses, instead of pinning the
+// connection forever. It drives the daemon's own server construction
+// (newServer), not a bare httptest handler, so the configured deadlines
+// are what is under test.
+func TestSlowHeaderClientDisconnected(t *testing.T) {
+	svc := service.New(service.Config{Workers: 1})
+	defer svc.Close()
+	srv := newServer("127.0.0.1:0", svc, timeouts{
+		readHeader: 150 * time.Millisecond,
+		read:       time.Second,
+		idle:       time.Second,
+	})
+	ln, err := net.Listen("tcp", srv.Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// A syntactically valid request line, then silence: the header is
+	// never completed.
+	if _, err := conn.Write([]byte("POST /schedule HTTP/1.1\r\nHost: caftd\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	// Well past readHeader but far below the test deadline: the read
+	// must return EOF/reset because the server dropped us, not block.
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	n, err := conn.Read(make([]byte, 1))
+	if err == nil || n > 0 {
+		t.Fatalf("slow-header connection still alive after ReadHeaderTimeout (read %d bytes, err %v)", n, err)
+	}
+	if ne, ok := err.(net.Error); ok && ne.Timeout() {
+		t.Fatal("server kept the slow-header connection open past ReadHeaderTimeout")
+	}
+
+	// The server must still answer well-formed requests afterwards.
+	status, _ := post(t, "http://"+ln.Addr().String(), quickstartSpec(t))
+	if status != http.StatusOK {
+		t.Fatalf("healthy request after slowloris got status %d", status)
 	}
 }

@@ -105,6 +105,18 @@ type Stats struct {
 	FullRounds     int // replicas placed with fully replicated inputs
 }
 
+func init() {
+	caps := sched.Caps{AcceptsEps: true, Deterministic: true, Append: true, Insertion: true}
+	sched.Register(sched.Descriptor{Name: "caft", ID: 1, Caps: caps, New: Schedule})
+	sched.Register(sched.Descriptor{
+		Name: "caft-greedy", ID: 2, Caps: caps,
+		New: func(p *sched.Problem, eps int, rng *rand.Rand) (*sched.Schedule, error) {
+			s, _, err := ScheduleOpts(p, eps, rng, Options{Greedy: true})
+			return s, err
+		},
+	})
+}
+
 // Schedule runs CAFT with default options, producing a schedule that
 // tolerates eps arbitrary fail-stop processor failures. eps = 0 reduces
 // to HEFT (paper §6).

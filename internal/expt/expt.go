@@ -18,9 +18,6 @@ import (
 	"caft/internal/gen"
 	"caft/internal/platform"
 	"caft/internal/sched"
-	"caft/internal/sched/ftbar"
-	"caft/internal/sched/ftsa"
-	"caft/internal/sched/heft"
 	"caft/internal/sim"
 	"caft/internal/stats"
 	"caft/internal/timeline"
@@ -267,22 +264,22 @@ func (cfg Config) runUnit(g float64, rng *rand.Rand) (unitResult, error) {
 	crashed := cfg.DrawCrashes(rng)
 
 	// Fault-free references.
-	sHEFT, err := heft.Schedule(p, rng)
+	sHEFT, err := algo("heft").New(p, 0, rng)
 	if err != nil {
 		return out, err
 	}
 	star := sHEFT.ScheduledLatency() // CAFT*
-	sFB0, err := ftbar.Schedule(p, 0, rng)
+	sFB0, err := algo("ftbar").New(p, 0, rng)
 	if err != nil {
 		return out, err
 	}
 
 	// Fault-tolerant schedules.
-	sFT, err := ftsa.Schedule(p, cfg.Eps, rng)
+	sFT, err := algo("ftsa").New(p, cfg.Eps, rng)
 	if err != nil {
 		return out, err
 	}
-	sFB, err := ftbar.Schedule(p, cfg.Eps, rng)
+	sFB, err := algo("ftbar").New(p, cfg.Eps, rng)
 	if err != nil {
 		return out, err
 	}

@@ -11,7 +11,6 @@ import (
 	"caft/internal/gen"
 	"caft/internal/platform"
 	"caft/internal/sched"
-	"caft/internal/sched/ftsa"
 	"caft/internal/sim"
 	"caft/internal/stats"
 	"caft/internal/timeline"
@@ -54,11 +53,11 @@ func RunMessages(w io.Writer, graphs int, seed int64, workers int) error {
 		plat := platform.NewRandom(rng, 10, 0.5, 1.0)
 		exec := platform.GenExecForGranularity(rng, g, plat, 1.0, platform.DefaultHeterogeneity)
 		p := &sched.Problem{G: g, Plat: plat, Exec: exec, Model: sched.OnePort, Policy: timeline.Append}
-		sc, _, err := core.ScheduleOpts(p, eps, rng, core.Options{Greedy: true})
+		sc, err := algo("caft-greedy").New(p, eps, rng)
 		if err != nil {
 			return meas{}, err
 		}
-		sf, err := ftsa.Schedule(p, eps, rng)
+		sf, err := algo("ftsa").New(p, eps, rng)
 		if err != nil {
 			return meas{}, err
 		}
@@ -220,7 +219,7 @@ func RunAccuracy(w io.Writer, graphs int, seed int64, workers int) error {
 		plat := platform.NewRandom(rng, 10, 0.5, 1.0)
 		exec := platform.GenExecForGranularity(rng, graph, plat, g, platform.DefaultHeterogeneity)
 		macro := &sched.Problem{G: graph, Plat: plat, Exec: exec, Model: sched.MacroDataflow, Policy: timeline.Append}
-		sm, err := ftsa.Schedule(macro, 1, rng)
+		sm, err := algo("ftsa").New(macro, 1, rng)
 		if err != nil {
 			return meas{}, err
 		}
@@ -242,7 +241,7 @@ func RunAccuracy(w io.Writer, graphs int, seed int64, workers int) error {
 		}
 		m.real = lat / DefaultNorm
 		onePort := &sched.Problem{G: graph, Plat: plat, Exec: exec, Model: sched.OnePort, Policy: timeline.Append}
-		sa, err := ftsa.Schedule(onePort, 1, rng)
+		sa, err := algo("ftsa").New(onePort, 1, rng)
 		if err != nil {
 			return meas{}, err
 		}
@@ -312,7 +311,7 @@ func RunSparse(w io.Writer, graphs int, seed int64, workers int) error {
 		plat := platform.New(m, 0.75)
 		exec := platform.GenExecForGranularity(rng, graph, plat, 1.0, platform.DefaultHeterogeneity)
 		p := &sched.Problem{G: graph, Plat: plat, Exec: exec, Model: sched.OnePort, Policy: timeline.Append, Net: tp.net}
-		s, err := core.Schedule(p, 1, rng)
+		s, err := algo("caft").New(p, 1, rng)
 		if err != nil {
 			return meas{}, err
 		}

@@ -7,12 +7,10 @@ import (
 	"math"
 	"math/rand"
 
-	"caft/internal/core"
 	"caft/internal/failure"
 	"caft/internal/gen"
 	"caft/internal/online"
 	"caft/internal/sched"
-	"caft/internal/sched/heft"
 	"caft/internal/sim"
 	"caft/internal/timeline"
 )
@@ -78,12 +76,12 @@ func runOnlineUnit(rng *rand.Rand, mult float64) (onlineUnit, error) {
 	inst := cfg.GenInstance(rng, 1.0)
 	p := inst.P
 
-	sHEFT, err := heft.Schedule(p, rng)
+	sHEFT, err := algo("heft").New(p, 0, rng)
 	if err != nil {
 		return out, err
 	}
 	T := sHEFT.ScheduledLatency()
-	sCA, err := core.Schedule(p, 1, rng)
+	sCA, err := algo("caft").New(p, 1, rng)
 	if err != nil {
 		return out, err
 	}

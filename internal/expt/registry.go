@@ -1,0 +1,19 @@
+package expt
+
+import (
+	"fmt"
+
+	"caft/internal/sched"
+	_ "caft/internal/sched/all" // populate the scheduler registry
+)
+
+// algo returns the descriptor of a registered scheduler. A missing name
+// panics: the figure tables are compiled against the in-tree registry,
+// so absence is a linking bug, not a runtime condition.
+func algo(name string) sched.Descriptor {
+	d, ok := sched.Lookup(name)
+	if !ok {
+		panic(fmt.Sprintf("expt: scheduler %q not registered", name))
+	}
+	return d
+}

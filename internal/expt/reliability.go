@@ -6,13 +6,9 @@ import (
 	"math"
 	"math/rand"
 
-	"caft/internal/core"
 	"caft/internal/failure"
 	"caft/internal/gen"
 	"caft/internal/sched"
-	"caft/internal/sched/ftbar"
-	"caft/internal/sched/ftsa"
-	"caft/internal/sched/heft"
 	"caft/internal/sim"
 	"caft/internal/timeline"
 	"caft/internal/topology"
@@ -126,20 +122,20 @@ func runReliabilityUnit(rng *rand.Rand, mult float64, build func(*rand.Rand, int
 	inst := cfg.GenInstance(rng, 1.0)
 	p := inst.P
 
-	sHEFT, err := heft.Schedule(p, rng)
+	sHEFT, err := algo("heft").New(p, 0, rng)
 	if err != nil {
 		return out, err
 	}
 	T := sHEFT.ScheduledLatency()
-	sCA, err := core.Schedule(p, 1, rng)
+	sCA, err := algo("caft").New(p, 1, rng)
 	if err != nil {
 		return out, err
 	}
-	sFT, err := ftsa.Schedule(p, 1, rng)
+	sFT, err := algo("ftsa").New(p, 1, rng)
 	if err != nil {
 		return out, err
 	}
-	sFB, err := ftbar.Schedule(p, 1, rng)
+	sFB, err := algo("ftbar").New(p, 1, rng)
 	if err != nil {
 		return out, err
 	}

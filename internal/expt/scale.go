@@ -6,13 +6,9 @@ import (
 	"math/rand"
 	"time"
 
-	"caft/internal/core"
 	"caft/internal/gen"
 	"caft/internal/platform"
 	"caft/internal/sched"
-	"caft/internal/sched/ftbar"
-	"caft/internal/sched/ftsa"
-	"caft/internal/sched/heft"
 	"caft/internal/timeline"
 )
 
@@ -30,10 +26,18 @@ type scaleMeas struct {
 }
 
 // scaleUnit is the complete measurement of one (size, policy, graph)
-// work unit, in algorithm order HEFT, CAFT, FTSA, FTBAR.
-type scaleUnit [4]scaleMeas
+// work unit, in scaleAlgos order.
+type scaleUnit [len(scaleAlgos)]scaleMeas
 
-var scaleAlgos = [4]string{"HEFT", "CAFT", "FTSA", "FTBAR"}
+// scaleAlgos maps the table's row labels to registry names. CAFT runs
+// its greedy variant (Algorithm 5.1) so the wall-clock numbers trace a
+// single schedule construction.
+var scaleAlgos = [...]struct{ label, name string }{
+	{"HEFT", "heft"},
+	{"CAFT", "caft-greedy"},
+	{"FTSA", "ftsa"},
+	{"FTBAR", "ftbar"},
+}
 
 // RunScale runs the large-DAG scale study: random layered graphs of v
 // tasks for every v in sizes are scheduled by HEFT, CAFT (greedy
@@ -74,22 +78,16 @@ func RunScale(w, timing io.Writer, sizes []int, graphs int, seed int64, workers 
 		exec := platform.GenExecForGranularity(rng, graph, plat, gran, platform.DefaultHeterogeneity)
 		p := &sched.Problem{G: graph, Plat: plat, Exec: exec, Model: sched.OnePort, Policy: pol}
 		var out scaleUnit
-		for a := range scaleAlgos {
-			var s *sched.Schedule
-			var err error
-			start := time.Now() //caft:nondet-ok wall-clock timing reported as stats only
-			switch a {
-			case 0:
-				s, err = heft.Schedule(p, rng)
-			case 1:
-				s, _, err = core.ScheduleOpts(p, eps, rng, core.Options{Greedy: true})
-			case 2:
-				s, err = ftsa.Schedule(p, eps, rng)
-			case 3:
-				s, err = ftbar.Schedule(p, eps, rng)
+		for a, alg := range scaleAlgos {
+			d := algo(alg.name)
+			algEps := eps
+			if !d.Caps.AcceptsEps {
+				algEps = 0
 			}
+			start := time.Now() //caft:nondet-ok wall-clock timing reported as stats only
+			s, err := d.New(p, algEps, rng)
 			if err != nil {
-				return out, fmt.Errorf("scale v=%d %s %s: %w", v, pol, scaleAlgos[a], err)
+				return out, fmt.Errorf("scale v=%d %s %s: %w", v, pol, alg.label, err)
 			}
 			out[a] = scaleMeas{
 				lat:  s.ScheduledLatency() / DefaultNorm,
@@ -105,8 +103,8 @@ func RunScale(w, timing io.Writer, sizes []int, graphs int, seed int64, workers 
 	}
 	for cell := 0; cell < cells; cell++ {
 		v, pol := sizes[cell/len(policies)], policies[cell%len(policies)]
-		var lat, reps, msgs [4]stats64
-		var ns [4]int64
+		var lat, reps, msgs [len(scaleAlgos)]stats64
+		var ns [len(scaleAlgos)]int64
 		for _, u := range units[cell*graphs : (cell+1)*graphs] {
 			for a := range scaleAlgos {
 				lat[a].add(u[a].lat)
@@ -115,14 +113,14 @@ func RunScale(w, timing io.Writer, sizes []int, graphs int, seed int64, workers 
 				ns[a] += u[a].ns
 			}
 		}
-		for a, name := range scaleAlgos {
+		for a, alg := range scaleAlgos {
 			fmt.Fprintf(w, "%d\t%s\t%s\t%.2f\t%.0f\t%.0f\n",
-				v, pol, name, lat[a].mean(), reps[a].mean(), msgs[a].mean())
+				v, pol, alg.label, lat[a].mean(), reps[a].mean(), msgs[a].mean())
 		}
 		if graphs > 0 {
 			fmt.Fprintf(timing, "# scale v=%d %s: sched time/graph", v, pol)
-			for a, name := range scaleAlgos {
-				fmt.Fprintf(timing, " %s %s", name,
+			for a, alg := range scaleAlgos {
+				fmt.Fprintf(timing, " %s %s", alg.label,
 					time.Duration(ns[a]/int64(graphs)).Round(time.Microsecond))
 			}
 			fmt.Fprintln(timing)

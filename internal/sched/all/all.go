@@ -1,0 +1,13 @@
+// Package all links every in-tree scheduler into the sched registry.
+// Consumers that dispatch by name (the caftd service, the figure
+// sweeps, the CLIs) blank-import it once instead of naming each
+// scheduler package; adding a scheduler means adding one import line
+// here and nothing anywhere else.
+package all
+
+import (
+	_ "caft/internal/core"       // caft, caft-greedy
+	_ "caft/internal/sched/ftbar" // ftbar
+	_ "caft/internal/sched/ftsa"  // ftsa
+	_ "caft/internal/sched/heft"  // heft
+)

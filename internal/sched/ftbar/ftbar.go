@@ -40,6 +40,14 @@ import (
 	"caft/internal/sched"
 )
 
+func init() {
+	sched.Register(sched.Descriptor{
+		Name: "ftbar", ID: 4,
+		Caps: sched.Caps{AcceptsEps: true, Deterministic: true, Append: true, Insertion: true},
+		New:  Schedule,
+	})
+}
+
 // Schedule runs FTBAR with npf tolerated failures (npf+1 replicas per
 // task). npf = 0 is the fault-free FTBAR baseline of the paper's
 // figures.

@@ -23,6 +23,14 @@ import (
 	"caft/internal/sched"
 )
 
+func init() {
+	sched.Register(sched.Descriptor{
+		Name: "ftsa", ID: 3,
+		Caps: sched.Caps{AcceptsEps: true, Deterministic: true, Append: true, Insertion: true},
+		New:  Schedule,
+	})
+}
+
 // Schedule runs FTSA with the given number ε of tolerated failures.
 // ε = 0 degenerates to (one-port) HEFT.
 func Schedule(p *sched.Problem, eps int, rng *rand.Rand) (*sched.Schedule, error) {

@@ -12,11 +12,25 @@
 package heft
 
 import (
+	"fmt"
 	"math/rand"
 
 	"caft/internal/sched"
 	"caft/internal/sched/ftsa"
 )
+
+func init() {
+	sched.Register(sched.Descriptor{
+		Name: "heft", ID: 0,
+		Caps: sched.Caps{Deterministic: true, Append: true, Insertion: true},
+		New: func(p *sched.Problem, eps int, rng *rand.Rand) (*sched.Schedule, error) {
+			if eps != 0 {
+				return nil, fmt.Errorf("heft: fault-free reference takes eps 0, got %d", eps)
+			}
+			return Schedule(p, rng)
+		},
+	})
+}
 
 // Schedule runs one-port (or macro-dataflow, per p.Model) HEFT.
 func Schedule(p *sched.Problem, rng *rand.Rand) (*sched.Schedule, error) {

@@ -1,0 +1,73 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"caft/internal/timeline"
+)
+
+func noopNew(p *Problem, eps int, rng *rand.Rand) (*Schedule, error) { return nil, nil }
+
+func TestRegistryOrderAndLookup(t *testing.T) {
+	// High IDs far outside the in-tree range; registration is
+	// process-wide.
+	sched100 := Descriptor{Name: "test-reg-b", ID: 101, New: noopNew}
+	sched101 := Descriptor{Name: "test-reg-a", ID: 100, New: noopNew}
+	Register(sched100)
+	Register(sched101)
+
+	d, ok := Lookup("test-reg-a")
+	if !ok || d.ID != 100 {
+		t.Fatalf("Lookup(test-reg-a) = %+v, %v", d, ok)
+	}
+	if _, ok := Lookup("nosuch"); ok {
+		t.Fatal("Lookup invented a scheduler")
+	}
+
+	// Names and Registered list in ID order regardless of registration
+	// order.
+	names := Names()
+	ia, ib := -1, -1
+	for i, n := range names {
+		switch n {
+		case "test-reg-a":
+			ia = i
+		case "test-reg-b":
+			ib = i
+		}
+	}
+	if ia < 0 || ib < 0 || ia >= ib {
+		t.Fatalf("Names() not in ID order: %v", names)
+	}
+	regs := Registered()
+	for i := 1; i < len(regs); i++ {
+		if regs[i-1].ID >= regs[i].ID {
+			t.Fatalf("Registered() not strictly ID-ordered: %v then %v", regs[i-1].ID, regs[i].ID)
+		}
+	}
+}
+
+func TestRegistryRejectsCollisions(t *testing.T) {
+	mustPanic := func(name string, d Descriptor) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: Register did not panic", name)
+			}
+		}()
+		Register(d)
+	}
+	Register(Descriptor{Name: "test-dup", ID: 110, New: noopNew})
+	mustPanic("duplicate name", Descriptor{Name: "test-dup", ID: 111, New: noopNew})
+	mustPanic("duplicate ID", Descriptor{Name: "test-dup2", ID: 110, New: noopNew})
+	mustPanic("empty name", Descriptor{ID: 112, New: noopNew})
+	mustPanic("nil constructor", Descriptor{Name: "test-nil", ID: 113})
+}
+
+func TestCapsSupports(t *testing.T) {
+	c := Caps{Append: true}
+	if !c.Supports(timeline.Append) || c.Supports(timeline.Insertion) {
+		t.Fatalf("Caps{Append}.Supports wrong")
+	}
+}

@@ -8,12 +8,8 @@ import (
 	"math/rand"
 	"sort"
 
-	"caft/internal/core"
 	"caft/internal/expt"
 	"caft/internal/sched"
-	"caft/internal/sched/ftbar"
-	"caft/internal/sched/ftsa"
-	"caft/internal/sched/heft"
 )
 
 // Response is the wire form of one served schedule. Field order is
@@ -244,20 +240,13 @@ func (s *Service) compute(sc *scratch, req *Request) ([]byte, error) {
 // formatKey renders the 128-bit cache key as 32 hex digits.
 func formatKey(k hashKey) string { return fmt.Sprintf("%016x%016x", k.a, k.b) }
 
-// runScheduler dispatches one of the five supported schedulers.
+// runScheduler dispatches through the sched registry: any scheduler
+// package linked into the binary is servable by name, with no switch to
+// keep in sync with validation.
 func runScheduler(alg string, p *sched.Problem, eps int, rng *rand.Rand) (*sched.Schedule, error) {
-	switch alg {
-	case "heft":
-		return heft.Schedule(p, rng)
-	case "caft":
-		return core.Schedule(p, eps, rng)
-	case "caft-greedy":
-		s, _, err := core.ScheduleOpts(p, eps, rng, core.Options{Greedy: true})
-		return s, err
-	case "ftsa":
-		return ftsa.Schedule(p, eps, rng)
-	case "ftbar":
-		return ftbar.Schedule(p, eps, rng)
+	d, ok := sched.Lookup(alg)
+	if !ok {
+		return nil, fmt.Errorf("%w: unknown alg %q", ErrBadRequest, alg)
 	}
-	return nil, fmt.Errorf("%w: unknown alg %q", ErrBadRequest, alg)
+	return d.New(p, eps, rng)
 }

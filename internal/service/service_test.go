@@ -11,6 +11,7 @@ import (
 
 	"caft/internal/dag"
 	"caft/internal/gen"
+	"caft/internal/sched"
 )
 
 // testDAG is a placeholder inline graph for validation tests.
@@ -76,19 +77,19 @@ func TestServeBasics(t *testing.T) {
 func TestServeEveryAlgPolicyModel(t *testing.T) {
 	svc := New(Config{Workers: 4})
 	defer svc.Close()
-	for _, alg := range algNames {
+	for _, d := range sched.Registered() {
 		for _, policy := range []string{"append", "insertion"} {
 			for _, model := range []string{"one-port", "macro-dataflow"} {
 				req := quickReq()
-				req.Alg = alg
+				req.Alg = d.Name
 				req.Policy = policy
 				req.Model = model
 				req.Reliability = nil
-				if alg == "heft" {
+				if !d.Caps.AcceptsEps {
 					req.Eps = 0
 				}
 				if _, err := svc.Do(context.Background(), req); err != nil {
-					t.Errorf("%s/%s/%s: %v", alg, policy, model, err)
+					t.Errorf("%s/%s/%s: %v", d.Name, policy, model, err)
 				}
 			}
 		}

@@ -1,6 +1,6 @@
 // Package service implements the caftd scheduling service: a
 // long-running, concurrent front end over the library core that accepts
-// scheduling problems as JSON, runs any of the five schedulers under
+// scheduling problems as JSON, runs any registered scheduler under
 // either reservation policy, and returns the schedule plus optional
 // Monte-Carlo reliability estimates — or, in "mode":"online", the
 // reactive makespan distribution of the schedule replayed through the
@@ -32,12 +32,14 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"strings"
 
 	"caft/internal/dag"
 	"caft/internal/failure"
 	"caft/internal/gen"
 	"caft/internal/platform"
 	"caft/internal/sched"
+	_ "caft/internal/sched/all" // populate the scheduler registry
 	"caft/internal/timeline"
 	"caft/internal/topology"
 )
@@ -48,10 +50,14 @@ import (
 // canonical content hash resolves defaults first, so a minimal request
 // and its fully spelled-out form share a cache entry.
 type Request struct {
-	// Alg selects the scheduler: heft, caft, caft-greedy, ftsa, ftbar.
+	// Alg selects the scheduler by its registry name (sched.Names():
+	// heft, caft, caft-greedy, ftsa, ftbar, ...). Any scheduler
+	// registered with the sched registry is servable without service
+	// changes.
 	Alg string `json:"alg"`
 	// Eps is the number of arbitrary fail-stop failures the schedule
-	// must tolerate. It must be 0 for heft (the fault-free reference).
+	// must tolerate. It must be 0 for fault-free references (schedulers
+	// whose capability flags do not accept eps, e.g. heft).
 	Eps int `json:"eps,omitempty"`
 	// Policy is the timeline reservation policy: append (default) or
 	// insertion.
@@ -252,15 +258,12 @@ const (
 	maxServeCells = 1 << 22 // tasks x processors (exec-matrix entries)
 )
 
-// algNames lists the five supported schedulers; the index is the
-// canonical enum hashed into cache keys.
-var algNames = [...]string{"heft", "caft", "caft-greedy", "ftsa", "ftbar"}
-
-func (r *Request) algIndex() int {
-	for i, n := range algNames {
-		if n == r.Alg {
-			return i
-		}
+// algID returns the scheduler's registry ID — the canonical enum hashed
+// into cache keys (sched.Descriptor.ID, append-only) — or -1 for
+// unregistered names (rejected by validate).
+func (r *Request) algID() int {
+	if d, ok := sched.Lookup(r.Alg); ok {
+		return d.ID
 	}
 	return -1
 }
@@ -335,17 +338,22 @@ func (r *Request) granularity() float64 {
 // nothing on the accept path, keeping the cache-hit fast path
 // allocation-free.
 func (r *Request) validate() error {
-	if r.algIndex() < 0 {
-		return fmt.Errorf("unknown alg %q (want heft, caft, caft-greedy, ftsa or ftbar)", r.Alg)
+	d, registered := sched.Lookup(r.Alg)
+	if !registered {
+		return fmt.Errorf("unknown alg %q (want %s)", r.Alg, strings.Join(sched.Names(), ", "))
 	}
 	if r.Eps < 0 {
 		return fmt.Errorf("negative eps %d", r.Eps)
 	}
-	if r.Alg == "heft" && r.Eps != 0 {
-		return fmt.Errorf("heft is the fault-free reference; eps must be 0, got %d", r.Eps)
+	if !d.Caps.AcceptsEps && r.Eps != 0 {
+		return fmt.Errorf("%s is a fault-free reference; eps must be 0, got %d", r.Alg, r.Eps)
 	}
-	if _, ok := r.policy(); !ok {
+	pol, ok := r.policy()
+	if !ok {
 		return fmt.Errorf("unknown policy %q (want append or insertion)", r.Policy)
+	}
+	if !d.Caps.Supports(pol) {
+		return fmt.Errorf("%s does not support the %s policy", r.Alg, pol)
 	}
 	if _, ok := r.model(); !ok {
 		return fmt.Errorf("unknown model %q (want one-port or macro-dataflow)", r.Model)
@@ -572,7 +580,7 @@ func (r *Request) hash() hashKey {
 	// v2: adds the serving mode and the online Monte-Carlo spec to the
 	// canonical stream.
 	h.str("caftd-problem-v2")
-	h.int(r.algIndex())
+	h.int(r.algID())
 	h.int(r.Eps)
 	policy, _ := r.policy()
 	model, _ := r.model()
