@@ -33,6 +33,7 @@ import (
 	"caft/internal/sched/ftbar"
 	"caft/internal/sched/ftsa"
 	"caft/internal/sched/heft"
+	"caft/internal/sched/hoft"
 	"caft/internal/sim"
 )
 
@@ -138,6 +139,14 @@ func ScheduleFTBAR(p *Problem, npf int, rng *rand.Rand) (*Schedule, error) {
 // ScheduleHEFT runs the fault-free reference scheduler.
 func ScheduleHEFT(p *Problem, rng *rand.Rand) (*Schedule, error) {
 	return heft.Schedule(p, rng)
+}
+
+// ScheduleHOFT runs the fault-free optimistic-finish-time scheduler: a
+// HEFT-class list scheduler that ranks and places by the per-(task,
+// processor) optimistic finish-time table instead of a single upward
+// rank — a one-step lookahead at placement time.
+func ScheduleHOFT(p *Problem, rng *rand.Rand) (*Schedule, error) {
+	return hoft.Schedule(p, rng)
 }
 
 // LowerBound returns the latency achieved when no processor fails.

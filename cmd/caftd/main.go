@@ -1,8 +1,9 @@
 // Command caftd is the CAFT scheduling daemon: a long-running HTTP/JSON
-// service that schedules task graphs on demand — any of the five
-// schedulers (heft, caft, caft-greedy, ftsa, ftbar), either reservation
-// policy, clique or sparse interconnects — and optionally returns
-// Monte-Carlo reliability estimates with each schedule.
+// service that schedules task graphs on demand — any scheduler in the
+// registry (heft, caft, caft-greedy, ftsa, ftbar, hoft; the accepted
+// values are exactly sched.Names()), either reservation policy, clique
+// or sparse interconnects — and optionally returns Monte-Carlo
+// reliability estimates with each schedule.
 //
 // Responses are cached content-addressed and duplicate in-flight
 // requests are collapsed, so serving the same problem twice does no

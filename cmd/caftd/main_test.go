@@ -229,6 +229,43 @@ func TestOnlineModeEndToEnd(t *testing.T) {
 	}
 }
 
+// TestHOFTServable drives the registry's newest scheduler through the
+// HTTP surface: the quickstart spec re-pointed at hoft (a fault-free
+// reference, so eps drops to 0) must serve a valid schedule, and a
+// non-zero eps must be a 400, not a schedule.
+func TestHOFTServable(t *testing.T) {
+	srv := startServer(t, service.Config{Workers: 2})
+	var req map[string]any
+	if err := json.Unmarshal(quickstartSpec(t), &req); err != nil {
+		t.Fatal(err)
+	}
+	req["alg"], req["eps"] = "hoft", 0
+	spec, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, body := post(t, srv.URL, spec)
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, body)
+	}
+	var resp service.Response
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Alg != "hoft" || len(resp.Schedule.Replicas) == 0 {
+		t.Fatalf("hoft response malformed: alg=%q replicas=%d", resp.Alg, len(resp.Schedule.Replicas))
+	}
+
+	req["eps"] = 1
+	spec, err = json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status, body := post(t, srv.URL, spec); status != http.StatusBadRequest {
+		t.Fatalf("hoft with eps=1 got status %d: %s", status, body)
+	}
+}
+
 func TestRunRejectsBadFlags(t *testing.T) {
 	if err := run(":0", -1, 0, 0, defaultTimeouts); err == nil {
 		t.Error("negative -workers accepted")

@@ -15,6 +15,7 @@
 //	caftsim -figure reliability                  # stochastic failure models (S4)
 //	caftsim -figure scale -graphs 3              # large-DAG scale study (S5)
 //	caftsim -figure online                       # static vs reactive vs hybrid fault tolerance (S7)
+//	caftsim -figure jitter [-alg hoft]           # execution-time-jitter predictability harness (S9)
 //
 // The scale study sweeps v up to 3200 tasks and is the heaviest figure
 // by far: run it with a small -graphs value, and use -vmax to cap the
@@ -34,19 +35,21 @@ import (
 	"time"
 
 	"caft/internal/expt"
+	"caft/internal/sched"
 )
 
 func main() {
 	var (
-		figure  = flag.String("figure", "1", "figure to regenerate: 1..6, optionally with panel suffix a/b/c; or all, messages, ablation, accuracy, sparse, reliability, scale, online")
+		figure  = flag.String("figure", "1", "figure to regenerate: 1..6, optionally with panel suffix a/b/c; or all, messages, ablation, accuracy, sparse, reliability, scale, online, jitter")
 		graphs  = flag.Int("graphs", 60, "random graphs per point (paper: 60; use ~3 for -figure scale)")
 		seed    = flag.Int64("seed", 1, "base PRNG seed")
 		plot    = flag.String("plot", "", "also write gnuplot data+script for figure and reliability runs into this directory")
 		workers = flag.Int("workers", 0, "concurrent work units (0 = all cores); output is identical for any value")
 		vmax    = flag.Int("vmax", 3200, "scale figure: largest task count of the sweep")
+		alg     = flag.String("alg", "", "jitter figure: restrict to one registered scheduler (default all)")
 	)
 	flag.Parse()
-	if err := run(os.Stdout, *figure, *graphs, *seed, *plot, *workers, *vmax); err != nil {
+	if err := run(os.Stdout, *figure, *graphs, *seed, *plot, *workers, *vmax, *alg); err != nil {
 		fmt.Fprintln(os.Stderr, "caftsim:", err)
 		os.Exit(1)
 	}
@@ -56,12 +59,17 @@ func main() {
 // output (everything but wall-clock timing) to w. Flag values are
 // validated up front: nonsense like -graphs 0 used to fall through to
 // the engine and produce empty or degenerate TSV instead of an error.
-func run(w io.Writer, figure string, graphs int, seed int64, plotDir string, workers, vmax int) error {
+func run(w io.Writer, figure string, graphs int, seed int64, plotDir string, workers, vmax int, alg string) error {
 	if graphs < 1 {
 		return fmt.Errorf("-graphs must be positive, got %d", graphs)
 	}
 	if workers < 0 {
 		return fmt.Errorf("-workers must be non-negative (0 = all cores), got %d", workers)
+	}
+	if alg != "" {
+		if _, ok := sched.Lookup(alg); !ok {
+			return fmt.Errorf("-alg %q is not a registered scheduler (want %s)", alg, strings.Join(sched.Names(), ", "))
+		}
 	}
 	switch figure {
 	case "all":
@@ -85,6 +93,8 @@ func run(w io.Writer, figure string, graphs int, seed int64, plotDir string, wor
 		return runScale(w, graphs, seed, workers, vmax)
 	case "online":
 		return runOnline(w, graphs, seed, workers)
+	case "jitter":
+		return runJitter(w, graphs, seed, workers, alg)
 	}
 	panel := ""
 	num := figure
@@ -133,6 +143,17 @@ func runOnline(w io.Writer, graphs int, seed int64, workers int) error {
 	return nil
 }
 
+// runJitter writes the execution-time-jitter predictability table over
+// the registered schedulers (or just -alg).
+func runJitter(w io.Writer, graphs int, seed int64, workers int, alg string) error {
+	start := time.Now()
+	if _, err := expt.RunJitter(w, graphs, seed, workers, alg); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "# jitter: elapsed %s\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
 // runScale sweeps the scale-study sizes up to vmax. Wall-clock
 // scheduling times go to stderr so w stays deterministic.
 func runScale(w io.Writer, graphs int, seed int64, workers, vmax int) error {
@@ -168,10 +189,10 @@ func runFigure(w io.Writer, n int, panel string, graphs int, seed int64, plotDir
 	}
 	if panel == "" || panel == "a" {
 		fmt.Fprintln(w, "## panel (a): normalized latency, 0 crash + bounds + fault-free")
-		fmt.Fprintln(w, "g\tFTSA0\tFTSA-UB\tFTBAR0\tFTBAR-UB\tCAFT0\tCAFT-UB\tFF-CAFT\tFF-FTBAR")
+		fmt.Fprintln(w, "g\tFTSA0\tFTSA-UB\tFTBAR0\tFTBAR-UB\tCAFT0\tCAFT-UB\tFF-CAFT\tFF-FTBAR\tFF-HOFT")
 		for _, p := range points {
-			fmt.Fprintf(w, "%.1f\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\n",
-				p.G, p.FTSA0, p.FTSAUB, p.FTBAR0, p.FTBARUB, p.CAFT0, p.CAFTUB, p.FFCAFT, p.FFFTBAR)
+			fmt.Fprintf(w, "%.1f\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\n",
+				p.G, p.FTSA0, p.FTSAUB, p.FTBAR0, p.FTBARUB, p.CAFT0, p.CAFTUB, p.FFCAFT, p.FFFTBAR, p.FFHOFT)
 		}
 	}
 	if panel == "" || panel == "b" {
@@ -209,11 +230,12 @@ func runFigure(w io.Writer, n int, panel string, graphs int, seed int64, plotDir
 	}
 	// The wall-clock line goes to stderr: stdout must stay byte-identical
 	// for any -workers value.
-	fmt.Fprintf(w, "# messages/graph (mean): CAFT %.0f  FTSA %.0f  FTBAR %.0f  HEFT %.0f\n",
+	fmt.Fprintf(w, "# messages/graph (mean): CAFT %.0f  FTSA %.0f  FTBAR %.0f  HEFT %.0f  HOFT %.0f\n",
 		meanLast(points, func(p expt.Point) float64 { return p.MsgCAFT }),
 		meanLast(points, func(p expt.Point) float64 { return p.MsgFTSA }),
 		meanLast(points, func(p expt.Point) float64 { return p.MsgFTBAR }),
-		meanLast(points, func(p expt.Point) float64 { return p.MsgHEFT }))
+		meanLast(points, func(p expt.Point) float64 { return p.MsgHEFT }),
+		meanLast(points, func(p expt.Point) float64 { return p.MsgHOFT }))
 	fmt.Fprintf(os.Stderr, "# figure %d: elapsed %s\n", n, time.Since(start).Round(time.Millisecond))
 	return nil
 }

@@ -17,7 +17,7 @@ var update = flag.Bool("update", false, "rewrite the golden files from current o
 
 func TestRunRejectsUnknownFigure(t *testing.T) {
 	for _, bad := range []string{"7", "0", "x", "1d", "abc"} {
-		if err := run(io.Discard, bad, 1, 1, "", 1, 3200); err == nil {
+		if err := run(io.Discard, bad, 1, 1, "", 1, 3200, ""); err == nil {
 			t.Errorf("figure %q accepted", bad)
 		}
 	}
@@ -33,17 +33,19 @@ func TestRunRejectsBadFlagValues(t *testing.T) {
 		graphs  int
 		workers int
 		vmax    int
+		alg     string
 		wantMsg string
 	}{
-		{"zero graphs", "1a", 0, 1, 3200, "-graphs must be positive, got 0"},
-		{"negative graphs", "1a", -3, 1, 3200, "-graphs must be positive, got -3"},
-		{"zero graphs special figure", "messages", 0, 1, 3200, "-graphs must be positive, got 0"},
-		{"negative workers", "1a", 1, -2, 3200, "-workers must be non-negative (0 = all cores), got -2"},
-		{"vmax below smallest size", "scale", 1, 1, 50, "-vmax 50 is below the smallest scale size 100"},
+		{"zero graphs", "1a", 0, 1, 3200, "", "-graphs must be positive, got 0"},
+		{"negative graphs", "1a", -3, 1, 3200, "", "-graphs must be positive, got -3"},
+		{"zero graphs special figure", "messages", 0, 1, 3200, "", "-graphs must be positive, got 0"},
+		{"negative workers", "1a", 1, -2, 3200, "", "-workers must be non-negative (0 = all cores), got -2"},
+		{"vmax below smallest size", "scale", 1, 1, 50, "", "-vmax 50 is below the smallest scale size 100"},
+		{"unknown alg", "jitter", 1, 1, 3200, "nope", `-alg "nope" is not a registered scheduler (want heft, caft, caft-greedy, ftsa, ftbar, hoft)`},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
-			err := run(io.Discard, c.figure, c.graphs, 1, "", c.workers, c.vmax)
+			err := run(io.Discard, c.figure, c.graphs, 1, "", c.workers, c.vmax, c.alg)
 			if err == nil {
 				t.Fatal("accepted")
 			}
@@ -58,7 +60,7 @@ func TestRunPanelSelection(t *testing.T) {
 	// Tiny runs: 1 graph per point would still sweep 10 granularities,
 	// so exercise only the cheapest figure with panel filters.
 	for _, fig := range []string{"1a", "1b", "1c"} {
-		if err := run(io.Discard, fig, 1, 1, "", 0, 3200); err != nil {
+		if err := run(io.Discard, fig, 1, 1, "", 0, 3200, ""); err != nil {
 			t.Fatalf("figure %s: %v", fig, err)
 		}
 	}
@@ -66,7 +68,7 @@ func TestRunPanelSelection(t *testing.T) {
 
 func TestRunSpecialFigures(t *testing.T) {
 	for _, fig := range []string{"messages", "sparse"} {
-		if err := run(io.Discard, fig, 1, 1, "", 0, 3200); err != nil {
+		if err := run(io.Discard, fig, 1, 1, "", 0, 3200, ""); err != nil {
 			t.Fatalf("figure %s: %v", fig, err)
 		}
 	}
@@ -91,6 +93,7 @@ func TestGoldenOutput(t *testing.T) {
 		// while still crossing the paper's v in [80,120] regime.
 		{"scale_g2_v400_seed1.tsv", "scale", 2, 400},
 		{"online_g2_seed1.tsv", "online", 2, 3200},
+		{"jitter_g2_seed1.tsv", "jitter", 2, 3200},
 	}
 	for _, c := range cases {
 		t.Run(c.figure, func(t *testing.T) {
@@ -98,7 +101,7 @@ func TestGoldenOutput(t *testing.T) {
 			var first []byte
 			for _, workers := range []int{1, 8} {
 				var buf bytes.Buffer
-				if err := run(&buf, c.figure, c.graphs, 1, "", workers, c.vmax); err != nil {
+				if err := run(&buf, c.figure, c.graphs, 1, "", workers, c.vmax, ""); err != nil {
 					t.Fatal(err)
 				}
 				if first == nil {

@@ -117,6 +117,7 @@ type Point struct {
 	FTBAR0, FTBARUB float64
 	CAFT0, CAFTUB   float64
 	FFCAFT, FFFTBAR float64
+	FFHOFT          float64
 
 	// Panel (b): latency with crashes. NaN when no crash replay of the
 	// scheduler survived (see the matching *cN counts): an empty crash
@@ -133,7 +134,7 @@ type Point struct {
 
 	// Message counts (Prop. 5.1 discussion; not plotted in the paper's
 	// figures but central to its argument).
-	MsgCAFT, MsgFTSA, MsgFTBAR, MsgHEFT float64
+	MsgCAFT, MsgFTSA, MsgFTBAR, MsgHEFT, MsgHOFT float64
 
 	// Dispersion of the headline series, for error bars.
 	CAFT0CI, FTSA0CI, FTBAR0CI float64
@@ -251,6 +252,7 @@ type unitMeas struct {
 type unitResult struct {
 	ftsa, ftbar, caft        unitMeas
 	ffCAFT, ffFTBAR, msgHEFT float64
+	ffHOFT, msgHOFT          float64
 	lost, replayErrs         int
 }
 
@@ -324,6 +326,16 @@ func (cfg Config) runUnit(g float64, rng *rand.Rand) (unitResult, error) {
 	out.ffCAFT = star
 	out.ffFTBAR = sFB0.ScheduledLatency()
 	out.msgHEFT = float64(sHEFT.MessageCount())
+
+	// HOFT is scheduled last: it consumes tie-break draws from the shared
+	// rng, and no measurement after it reads the stream, so the columns
+	// above are bit-for-bit what they were before HOFT joined the sweep.
+	sHO, err := algo("hoft").New(p, 0, rng)
+	if err != nil {
+		return out, err
+	}
+	out.ffHOFT = sHO.ScheduledLatency()
+	out.msgHOFT = float64(sHO.MessageCount())
 	return out, nil
 }
 
@@ -331,14 +343,14 @@ func (cfg Config) runUnit(g float64, rng *rand.Rand) (unitResult, error) {
 // unit order.
 func (cfg Config) mergePoint(g float64, units []unitResult) Point {
 	var (
-		ftsa0, ftsaUB, ftsaC    series
-		ftbar0, ftbarUB, ftbarC series
-		caft0, caftUB, caftC    series
-		ffCAFT, ffFTBAR         series
-		ovFTSA0, ovFTSAc        series
-		ovFTBAR0, ovFTBARc      series
-		ovCAFT0, ovCAFTc        series
-		msgC, msgF, msgB, msgH  series
+		ftsa0, ftsaUB, ftsaC         series
+		ftbar0, ftbarUB, ftbarC      series
+		caft0, caftUB, caftC         series
+		ffCAFT, ffFTBAR, ffHOFT      series
+		ovFTSA0, ovFTSAc             series
+		ovFTBAR0, ovFTBARc           series
+		ovCAFT0, ovCAFTc             series
+		msgC, msgF, msgB, msgH, msgO series
 	)
 	lost, replayErrs := 0, 0
 	for _, u := range units {
@@ -363,7 +375,9 @@ func (cfg Config) mergePoint(g float64, units []unitResult) Point {
 		}
 		ffCAFT.add(u.ffCAFT / cfg.Norm)
 		ffFTBAR.add(u.ffFTBAR / cfg.Norm)
+		ffHOFT.add(u.ffHOFT / cfg.Norm)
 		msgH.add(u.msgHEFT)
+		msgO.add(u.msgHOFT)
 		lost += u.lost
 		replayErrs += u.replayErrs
 	}
@@ -373,11 +387,11 @@ func (cfg Config) mergePoint(g float64, units []unitResult) Point {
 		FTBAR0: ftbar0.mean(), FTBARUB: ftbarUB.mean(), FTBARc: ftbarC.meanNaN(),
 		CAFT0: caft0.mean(), CAFTUB: caftUB.mean(), CAFTc: caftC.meanNaN(),
 		FTSAcN: ftsaC.n(), FTBARcN: ftbarC.n(), CAFTcN: caftC.n(),
-		FFCAFT: ffCAFT.mean(), FFFTBAR: ffFTBAR.mean(),
+		FFCAFT: ffCAFT.mean(), FFFTBAR: ffFTBAR.mean(), FFHOFT: ffHOFT.mean(),
 		OvFTSA0: ovFTSA0.mean(), OvFTSAc: ovFTSAc.meanNaN(),
 		OvFTBAR0: ovFTBAR0.mean(), OvFTBARc: ovFTBARc.meanNaN(),
 		OvCAFT0: ovCAFT0.mean(), OvCAFTc: ovCAFTc.meanNaN(),
-		MsgCAFT: msgC.mean(), MsgFTSA: msgF.mean(), MsgFTBAR: msgB.mean(), MsgHEFT: msgH.mean(),
+		MsgCAFT: msgC.mean(), MsgFTSA: msgF.mean(), MsgFTBAR: msgB.mean(), MsgHEFT: msgH.mean(), MsgHOFT: msgO.mean(),
 		CAFT0CI: caft0.ci95(), FTSA0CI: ftsa0.ci95(), FTBAR0CI: ftbar0.ci95(),
 		TasksLost: lost, ReplayErrors: replayErrs,
 	}

@@ -261,8 +261,8 @@ func TestGnuplotEmitters(t *testing.T) {
 	if len(lines) != 3 { // header + 2 points
 		t.Fatalf("data rows = %d", len(lines))
 	}
-	if got := len(strings.Fields(lines[1])); got != 18 {
-		t.Fatalf("columns = %d, want 18", got)
+	if got := len(strings.Fields(lines[1])); got != 19 {
+		t.Fatalf("columns = %d, want 19", got)
 	}
 	var script bytes.Buffer
 	if err := WriteGnuplotScript(&script, 1, "figure1.dat", 1); err != nil {

@@ -25,7 +25,9 @@ func gnuplotVal(v float64) string {
 // series render as the missing marker, so gnuplot skips the point
 // instead of plotting a bogus zero.
 func WriteGnuplotData(w io.Writer, points []Point) error {
-	if _, err := fmt.Fprintln(w, "# g FTSA0 FTSAUB FTBAR0 FTBARUB CAFT0 CAFTUB FFCAFT FFFTBAR FTSAc FTBARc CAFTc OvFTSA0 OvFTSAc OvFTBAR0 OvFTBARc OvCAFT0 OvCAFTc"); err != nil {
+	// FFHOFT is appended after the original 18 columns so existing
+	// scripts' 1-based column indices keep working.
+	if _, err := fmt.Fprintln(w, "# g FTSA0 FTSAUB FTBAR0 FTBARUB CAFT0 CAFTUB FFCAFT FFFTBAR FTSAc FTBARc CAFTc OvFTSA0 OvFTSAc OvFTBAR0 OvFTBARc OvCAFT0 OvCAFTc FFHOFT"); err != nil {
 		return err
 	}
 	for _, p := range points {
@@ -33,6 +35,7 @@ func WriteGnuplotData(w io.Writer, points []Point) error {
 			p.G, p.FTSA0, p.FTSAUB, p.FTBAR0, p.FTBARUB, p.CAFT0, p.CAFTUB, p.FFCAFT, p.FFFTBAR,
 			p.FTSAc, p.FTBARc, p.CAFTc,
 			p.OvFTSA0, p.OvFTSAc, p.OvFTBAR0, p.OvFTBARc, p.OvCAFT0, p.OvCAFTc,
+			p.FFHOFT,
 		}
 		row := make([]string, len(cols))
 		for i, v := range cols {
@@ -65,7 +68,8 @@ plot "%[3]s" u 1:2 w lp t "FTSA 0 crash", \
      "%[3]s" u 1:6 w lp t "CAFT 0 crash", \
      "%[3]s" u 1:7 w lp t "CAFT upper bound", \
      "%[3]s" u 1:8 w lp t "FaultFree-CAFT", \
-     "%[3]s" u 1:9 w lp t "FaultFree-FTBAR"
+     "%[3]s" u 1:9 w lp t "FaultFree-FTBAR", \
+     "%[3]s" u 1:19 w lp t "FaultFree-HOFT"
 
 set title "(b) latency with 0 vs %[4]d crash(es)"
 plot "%[3]s" u 1:2 w lp t "FTSA 0 crash", \

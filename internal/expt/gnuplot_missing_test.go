@@ -26,8 +26,8 @@ func TestGnuplotRendersEmptyCrashSeriesAsMissing(t *testing.T) {
 	}
 	row := strings.Split(strings.TrimSpace(data.String()), "\n")[1]
 	fields := strings.Fields(row)
-	if len(fields) != 18 {
-		t.Fatalf("columns = %d, want 18", len(fields))
+	if len(fields) != 19 {
+		t.Fatalf("columns = %d, want 19", len(fields))
 	}
 	// Columns (1-based): 11 FTBARc, 12 CAFTc, 16 OvFTBARc, 18 OvCAFTc.
 	for _, idx := range []int{10, 11, 15, 17} {

@@ -15,7 +15,7 @@ import (
 	"caft/internal/timeline"
 )
 
-// The online experiment compares three fault-tolerance strategies under
+// The online experiment compares four fault-tolerance strategies under
 // the event-driven causal execution engine (package online, DESIGN.md
 // S7) across the same MTBF sweep as the reliability figure:
 //
@@ -26,14 +26,18 @@ import (
 //   - hybrid:   CAFT at ε=1 plus runtime re-mapping — replication
 //               absorbs the first failures instantly, re-mapping
 //               restores coverage for the next ones.
+//   - hoft:     unreplicated HOFT plus runtime re-mapping — the
+//               lookahead fault-free schedule under the same reactive
+//               recovery as `reactive`, isolating the contribution of
+//               the initial mapping.
 //
-// Every sampled failure trace is replayed under all three strategies
+// Every sampled failure trace is replayed under all four strategies
 // (common random numbers), tallying the achieved makespan over
 // completed runs, the fraction of runs losing a task, and the mean
 // number of reactive re-placements.
 
 // OnlineStrategies names the strategy columns in order.
-var OnlineStrategies = [3]string{"static", "reactive", "hybrid"}
+var OnlineStrategies = [4]string{"static", "reactive", "hybrid", "hoft"}
 
 // onlineSamples is the number of failure traces sampled per
 // (cell, graph) work unit.
@@ -46,30 +50,33 @@ type OnlinePoint struct {
 
 	// Lat is the mean normalized makespan over completed runs per
 	// strategy (OnlineStrategies order); NaN when none completed.
-	Lat [3]float64
+	Lat [4]float64
 	// Unrel is the fraction of runs that lost a task.
-	Unrel [3]float64
+	Unrel [4]float64
 	// Resched is the mean number of reactive placements per run (always
 	// zero for the static strategy).
-	Resched [3]float64
+	Resched [4]float64
 	// Draws counts evaluated runs per strategy; ReplayErrors counts
 	// engine failures (excluded, never blamed on a strategy).
-	Draws        [3]int
+	Draws        [4]int
 	ReplayErrors int
 }
 
 type onlineUnit struct {
-	latSum   [3]float64
-	survived [3]int
-	lost     [3]int
-	resched  [3]int
+	latSum   [4]float64
+	survived [4]int
+	lost     [4]int
+	resched  [4]int
 	errs     int
 }
 
-// runOnlineUnit generates one instance, schedules it with HEFT (ε=0)
-// and CAFT (ε=1), and replays the same sampled failure traces through
-// the three strategies.
-func runOnlineUnit(rng *rand.Rand, mult float64) (onlineUnit, error) {
+// runOnlineUnit generates one instance, schedules it with HEFT (ε=0),
+// CAFT (ε=1) and HOFT (ε=0), and replays the same sampled failure
+// traces through the four strategies. useed is the unit's base seed:
+// HOFT draws its tie-breaks from an rng derived from it, not from the
+// shared stream, so the failure-model build and trace draws — and the
+// original three strategies' columns — stay byte-identical.
+func runOnlineUnit(rng *rand.Rand, useed int64, mult float64) (onlineUnit, error) {
 	var out onlineUnit
 	const m = 10
 	cfg := Config{M: m, Params: gen.DefaultParams, DelayLo: 0.5, DelayHi: 1.0, Model: sched.OnePort, Policy: timeline.Append}
@@ -85,6 +92,10 @@ func runOnlineUnit(rng *rand.Rand, mult float64) (onlineUnit, error) {
 	if err != nil {
 		return out, err
 	}
+	sHO, err := algo("hoft").New(p, 0, rand.New(rand.NewSource(unitSeed(useed, 0, 1))))
+	if err != nil {
+		return out, err
+	}
 	engHEFT, err := online.NewEngine(sHEFT)
 	if err != nil {
 		return out, err
@@ -93,15 +104,20 @@ func runOnlineUnit(rng *rand.Rand, mult float64) (onlineUnit, error) {
 	if err != nil {
 		return out, err
 	}
+	engHO, err := online.NewEngine(sHO)
+	if err != nil {
+		return out, err
+	}
 	model := &failure.Exponential{MTBF: failure.UniformMTBF(rng, m, 0.75*mult*T, 1.25*mult*T)}
 
-	runs := [3]struct {
+	runs := [4]struct {
 		eng *online.Engine
 		opt online.Options
 	}{
 		{engCA, online.Options{}},
 		{engHEFT, online.Options{Reschedule: true}},
 		{engCA, online.Options{Reschedule: true}},
+		{engHO, online.Options{Reschedule: true}},
 	}
 	trace := map[int]float64{}
 	for draw := 0; draw < onlineSamples; draw++ {
@@ -133,8 +149,9 @@ func RunOnline(w io.Writer, graphs int, seed int64, workers int) ([]OnlinePoint,
 	mults := reliabilityMults
 	units, err := runUnits(workers, len(mults)*graphs, func(u int) (onlineUnit, error) {
 		cell, gi := u/graphs, u%graphs
-		rng := rand.New(rand.NewSource(unitSeed(seed, cell, gi)))
-		return runOnlineUnit(rng, mults[cell])
+		useed := unitSeed(seed, cell, gi)
+		rng := rand.New(rand.NewSource(useed))
+		return runOnlineUnit(rng, useed, mults[cell])
 	})
 	if err != nil {
 		return nil, err
@@ -170,9 +187,9 @@ func RunOnline(w io.Writer, graphs int, seed int64, workers int) ([]OnlinePoint,
 	}
 
 	fmt.Fprintf(w, "# online: m=10 eps=1 g=1.0 graphs/point=%d samples/graph=%d seed=%d\n", graphs, onlineSamples, seed)
-	fmt.Fprintln(w, "# static: CAFT eps=1 replication only; reactive: HEFT + runtime re-mapping; hybrid: CAFT eps=1 + re-mapping")
+	fmt.Fprintln(w, "# static: CAFT eps=1 replication only; reactive: HEFT + runtime re-mapping; hybrid: CAFT eps=1 + re-mapping; hoft: HOFT + re-mapping")
 	fmt.Fprintln(w, "# makespan: mean normalized completion over completed runs; unrel: fraction of runs losing a task; remap: mean reactive placements per completed run")
-	fmt.Fprintln(w, "mtbf/T\tstatic\tstatic-unrel\treactive\treactive-unrel\treactive-remap\thybrid\thybrid-unrel\thybrid-remap")
+	fmt.Fprintln(w, "mtbf/T\tstatic\tstatic-unrel\treactive\treactive-unrel\treactive-remap\thybrid\thybrid-unrel\thybrid-remap\thoft\thoft-unrel\thoft-remap")
 	for _, pt := range points {
 		row := pt.Label
 		for k := range OnlineStrategies {

@@ -26,8 +26,10 @@ import (
 
 // ReliabilityAlgs names the algorithm columns of the reliability
 // tables, in order: the fault-free HEFT reference (ε = 0, one replica
-// per task) and the three fault-tolerant schedulers at ε = 1.
-var ReliabilityAlgs = [4]string{"HEFT", "CAFT", "FTSA", "FTBAR"}
+// per task), the three fault-tolerant schedulers at ε = 1, and the
+// fault-free HOFT reference (appended last to keep earlier columns
+// stable).
+var ReliabilityAlgs = [5]string{"HEFT", "CAFT", "FTSA", "FTBAR", "HOFT"}
 
 // ReliabilityPoint is one averaged row of the reliability tables.
 type ReliabilityPoint struct {
@@ -37,19 +39,19 @@ type ReliabilityPoint struct {
 	// Lat is the expected normalized latency over surviving scenarios
 	// per algorithm (ReliabilityAlgs order); NaN when no scenario of an
 	// algorithm survived.
-	Lat [4]float64
+	Lat [5]float64
 	// Unrel is the estimated unreliability per algorithm: the fraction
 	// of sampled scenarios in which the schedule lost a task.
-	Unrel [4]float64
+	Unrel [5]float64
 	// Draws is the number of evaluated scenarios behind each estimate;
 	// ReplayErrors counts scenarios the engine failed to evaluate
 	// (excluded from Draws, never blamed on the schedule).
-	Draws        [4]int
+	Draws        [5]int
 	ReplayErrors int
 }
 
 // reliabilitySamples is the number of crash-time scenarios sampled per
-// (cell, graph) unit. Every scenario is replayed against all four
+// (cell, graph) unit. Every scenario is replayed against all five
 // algorithms (common random numbers), so per-row contrasts share their
 // noise.
 const reliabilitySamples = 20
@@ -109,13 +111,16 @@ var reliabilityModels = []reliabilityModel{
 }
 
 type reliabilityUnit struct {
-	algs [4]MCTally
+	algs [5]MCTally
 }
 
-// runReliabilityUnit generates one instance, schedules it with all four
+// runReliabilityUnit generates one instance, schedules it with all five
 // algorithms and replays the same sampled crash-time scenarios against
-// each of them.
-func runReliabilityUnit(rng *rand.Rand, mult float64, build func(*rand.Rand, int, float64) (failure.Model, error)) (reliabilityUnit, error) {
+// each of them. useed is the unit's base seed: schedulers added after
+// the original four (HOFT) draw tie-breaks from an rng derived from it,
+// never from the shared stream, so the model build and scenario draws —
+// and with them the original columns — stay byte-identical.
+func runReliabilityUnit(rng *rand.Rand, useed int64, mult float64, build func(*rand.Rand, int, float64) (failure.Model, error)) (reliabilityUnit, error) {
 	var out reliabilityUnit
 	const m = 10
 	cfg := Config{M: m, Params: gen.DefaultParams, DelayLo: 0.5, DelayHi: 1.0, Model: sched.OnePort, Policy: timeline.Append}
@@ -139,9 +144,13 @@ func runReliabilityUnit(rng *rand.Rand, mult float64, build func(*rand.Rand, int
 	if err != nil {
 		return out, err
 	}
+	sHO, err := algo("hoft").New(p, 0, rand.New(rand.NewSource(unitSeed(useed, 0, 1))))
+	if err != nil {
+		return out, err
+	}
 
-	var reps [4]*sim.Replayer
-	for i, s := range []*sched.Schedule{sHEFT, sCA, sFT, sFB} {
+	var reps [5]*sim.Replayer
+	for i, s := range []*sched.Schedule{sHEFT, sCA, sFT, sFB, sHO} {
 		if reps[i], err = sim.NewReplayer(s); err != nil {
 			return out, err
 		}
@@ -173,8 +182,9 @@ func RunReliability(w io.Writer, graphs int, seed int64, workers int) ([]Reliabi
 
 	units, err := runUnits(workers, len(defs)*graphs, func(u int) (reliabilityUnit, error) {
 		cell, gi := u/graphs, u%graphs
-		rng := rand.New(rand.NewSource(unitSeed(seed, cell, gi)))
-		return runReliabilityUnit(rng, defs[cell].mult, defs[cell].build)
+		useed := unitSeed(seed, cell, gi)
+		rng := rand.New(rand.NewSource(useed))
+		return runReliabilityUnit(rng, useed, defs[cell].mult, defs[cell].build)
 	})
 	if err != nil {
 		return nil, err
@@ -260,7 +270,7 @@ func reliabilityRow(label string, pt ReliabilityPoint) string {
 // table: mult, then per algorithm the expected latency and the
 // unreliability.
 func WriteReliabilityGnuplotData(w io.Writer, points []ReliabilityPoint) error {
-	if _, err := fmt.Fprintln(w, "# mtbfMult HEFT HEFTu CAFT CAFTu FTSA FTSAu FTBAR FTBARu"); err != nil {
+	if _, err := fmt.Fprintln(w, "# mtbfMult HEFT HEFTu CAFT CAFTu FTSA FTSAu FTBAR FTBARu HOFT HOFTu"); err != nil {
 		return err
 	}
 	for _, pt := range points {
@@ -295,14 +305,16 @@ set title "(a) expected latency over surviving scenarios"
 plot "%[1]s" u 1:2 w lp t "HEFT", \
      "%[1]s" u 1:4 w lp t "CAFT", \
      "%[1]s" u 1:6 w lp t "FTSA", \
-     "%[1]s" u 1:8 w lp t "FTBAR"
+     "%[1]s" u 1:8 w lp t "FTBAR", \
+     "%[1]s" u 1:10 w lp t "HOFT"
 
 set ylabel "Unreliability"
 set title "(b) probability of losing a task"
 plot "%[1]s" u 1:3 w lp t "HEFT", \
      "%[1]s" u 1:5 w lp t "CAFT", \
      "%[1]s" u 1:7 w lp t "FTSA", \
-     "%[1]s" u 1:9 w lp t "FTBAR"
+     "%[1]s" u 1:9 w lp t "FTBAR", \
+     "%[1]s" u 1:11 w lp t "HOFT"
 unset multiplot
 `, dataFile)
 	return err

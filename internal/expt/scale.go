@@ -32,17 +32,20 @@ type scaleUnit [len(scaleAlgos)]scaleMeas
 // scaleAlgos maps the table's row labels to registry names. CAFT runs
 // its greedy variant (Algorithm 5.1) so the wall-clock numbers trace a
 // single schedule construction.
+// HOFT is last: it joined after the others, and scheduling order is the
+// shared-rng draw order, so appending keeps the earlier rows identical.
 var scaleAlgos = [...]struct{ label, name string }{
 	{"HEFT", "heft"},
 	{"CAFT", "caft-greedy"},
 	{"FTSA", "ftsa"},
 	{"FTBAR", "ftbar"},
+	{"HOFT", "hoft"},
 }
 
 // RunScale runs the large-DAG scale study: random layered graphs of v
 // tasks for every v in sizes are scheduled by HEFT, CAFT (greedy
 // Algorithm 5.1, so the wall-clock numbers trace a single schedule
-// construction), FTSA and FTBAR, under both reservation policies, on
+// construction), FTSA, FTBAR and HOFT, under both reservation policies, on
 // m=10 processors with eps=1 and granularity 1.0. One TSV row per
 // (v, policy, algorithm) with the mean normalized latency, replica
 // count and inter-processor message count goes to w; everything

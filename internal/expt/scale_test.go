@@ -26,9 +26,9 @@ func TestRunScaleDeterministicAcrossWorkers(t *testing.T) {
 		}
 	}
 	out := string(first)
-	// 2 sizes x 2 policies x 4 algorithms data rows + header comment +
+	// 2 sizes x 2 policies x 5 algorithms data rows + header comment +
 	// column header.
-	if got, want := strings.Count(out, "\n"), 2+2*2*4; got != want {
+	if got, want := strings.Count(out, "\n"), 2+2*2*5; got != want {
 		t.Fatalf("scale output has %d lines, want %d:\n%s", got, want, out)
 	}
 	for _, needle := range []string{"20\tappend\tHEFT", "40\tinsertion\tFTBAR"} {

@@ -1,0 +1,117 @@
+package online
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"caft/internal/sched/heft"
+	"caft/internal/timeline"
+)
+
+// ExecScale of all ones must reproduce the nominal replay bit for bit —
+// the scaled path is the same arithmetic, not an approximation.
+func TestExecScaleIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	p := randomProblem(rng, 40, 6, timeline.Append)
+	s, err := heft.Schedule(p, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nominal, _, err := e.Makespan(nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ones := make([]float64, p.G.NumTasks())
+	for i := range ones {
+		ones[i] = 1
+	}
+	scaled, _, err := e.Makespan(nil, Options{ExecScale: ones})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scaled != nominal {
+		t.Fatalf("identity scale makespan %v != nominal %v", scaled, nominal)
+	}
+}
+
+// Jittered replays of a frozen schedule are monotone in the durations:
+// factors <= 1 may only move completions (and the makespan) down,
+// factors >= 1 only up. This is the replay-level predictability claim
+// of DESIGN.md S9 — checked here per completion, not just for the
+// makespan.
+func TestExecScaleMonotonePerCompletion(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 4; trial++ {
+		p := randomProblem(rng, 40, 6, timeline.Append)
+		s, err := heft.Schedule(p, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := NewEngine(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base, err := e.Run(nil, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := p.G.NumTasks()
+		shrink, stretch := make([]float64, n), make([]float64, n)
+		for i := range shrink {
+			shrink[i] = 0.5 + 0.5*rng.Float64()
+			stretch[i] = 1 + 0.5*rng.Float64()
+		}
+		down, err := e.Run(nil, Options{ExecScale: shrink})
+		if err != nil {
+			t.Fatal(err)
+		}
+		up, err := e.Run(nil, Options{ExecScale: stretch})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for ti := range base.Reps {
+			for ri := range base.Reps[ti] {
+				b, d, u := base.Reps[ti][ri], down.Reps[ti][ri], up.Reps[ti][ri]
+				if d.Finish > b.Finish+1e-9 {
+					t.Fatalf("trial %d: shrunk replica (%d,%d) finishes at %v, after nominal %v", trial, ti, ri, d.Finish, b.Finish)
+				}
+				if u.Finish < b.Finish-1e-9 {
+					t.Fatalf("trial %d: stretched replica (%d,%d) finishes at %v, before nominal %v", trial, ti, ri, u.Finish, b.Finish)
+				}
+			}
+		}
+	}
+}
+
+func TestExecScaleRejectsBadInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	p := randomProblem(rng, 20, 4, timeline.Append)
+	s, err := heft.Schedule(p, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := e.Makespan(nil, Options{ExecScale: []float64{1, 1}}); err == nil || !strings.Contains(err.Error(), "one per task") {
+		t.Fatalf("short ExecScale accepted: %v", err)
+	}
+	bad := make([]float64, p.G.NumTasks())
+	for i := range bad {
+		bad[i] = 1
+	}
+	bad[3] = -0.25
+	if _, _, err := e.Makespan(nil, Options{ExecScale: bad}); err == nil || !strings.Contains(err.Error(), "non-negative") {
+		t.Fatalf("negative ExecScale accepted: %v", err)
+	}
+	// The engine must stay usable after a rejected replay.
+	if _, _, err := e.Makespan(nil, Options{}); err != nil {
+		t.Fatalf("engine broken after rejected options: %v", err)
+	}
+}

@@ -475,7 +475,11 @@ func (e *Engine) resolve(i int32, v float64) {
 		if o.minStart > o.start {
 			o.start = o.minStart
 		}
-		o.finish = o.start + o.dur
+		dur := o.dur
+		if o.kind == opRep && e.opt.ExecScale != nil {
+			dur *= e.opt.ExecScale[o.task]
+		}
+		o.finish = o.start + dur
 		o.state = opRunning
 		e.push(ev{t: o.finish, seq: o.seq, idx: i})
 	}

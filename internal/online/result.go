@@ -16,6 +16,18 @@ type Options struct {
 	// processors. False replays the static schedule's fate — losses are
 	// reported, nothing moves.
 	Reschedule bool
+	// ExecScale, when non-nil, multiplies the execution duration of every
+	// replica of task t (original and reactive alike) by ExecScale[t] as
+	// it starts — execution-time jitter injected at run time, while the
+	// committed placements, reservation orders and communication volumes
+	// stay those of the nominal schedule. It must hold one non-negative
+	// factor per task. This is the probe behind the jitter-predictability
+	// harness (expt.RunJitter, DESIGN.md S9): replaying a fixed schedule
+	// with shrunk durations can only move completions earlier, so
+	// schedules are execution-predictable in the sense of Cucu-Grosjean &
+	// Goossens; re-running a *scheduler* on jittered estimates is where
+	// Graham's timing anomalies live.
+	ExecScale []float64
 }
 
 // RepOutcome is the executed fate of one replica. For Alive (finished)
@@ -86,6 +98,16 @@ func (r *Result) Latency() (float64, error) {
 // speculation scope on the rebuilt state, so cancellations and reactive
 // placements roll back and the engine is pristine for the next replay.
 func (e *Engine) replay(trace map[int]float64, opt Options) error {
+	if opt.ExecScale != nil {
+		if len(opt.ExecScale) != e.g.NumTasks() {
+			return fmt.Errorf("online: ExecScale has %d entries, want one per task (%d)", len(opt.ExecScale), e.g.NumTasks())
+		}
+		for t, f := range opt.ExecScale {
+			if f < 0 || math.IsNaN(f) {
+				return fmt.Errorf("online: ExecScale[%d] = %v, want non-negative", t, f)
+			}
+		}
+	}
 	e.reset(trace)
 	e.opt = opt
 	if opt.Reschedule {

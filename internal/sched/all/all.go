@@ -10,4 +10,5 @@ import (
 	_ "caft/internal/sched/ftbar" // ftbar
 	_ "caft/internal/sched/ftsa"  // ftsa
 	_ "caft/internal/sched/heft"  // heft
+	_ "caft/internal/sched/hoft"  // hoft
 )

@@ -1,0 +1,170 @@
+// Package hoft implements HOFT (Heterogeneous Optimistic Finish Time),
+// a fault-free list scheduler built on optimistic finish-time tables
+// (Sulaiman, Halim, et al.; the variant evaluated in McSweeney's HEFT
+// comparison framework). Where HEFT ranks tasks by a single upward-rank
+// number computed from processor-averaged costs, HOFT keeps the whole
+// (task, processor) table
+//
+//	OFT[t][p] = w(t,p) + max over children c of
+//	            min over q of (OFT[c][q] + (q == p ? 0 : c(e)))
+//
+// — the finish time of t on p under the optimistic assumption that
+// every descendant gets its best processor and only the first hop pays
+// communication. The table is used twice: task priority is the mean of
+// OFT[t][·] over processors (tasks whose subtrees are expensive
+// everywhere go first), and placement minimizes EFT(t,p) +
+// (OFT[t][p] − w(t,p)) — the earliest finish achievable now plus the
+// optimistic remaining path from p, a one-step lookahead that plain
+// HEFT lacks. Like HEFT it is a fault-free reference: one replica per
+// task, eps must be 0.
+//
+// Placement probes run through sched.State, so HOFT obeys the same
+// one-port (or macro-dataflow) reservations and append/insertion
+// policies as every other scheduler in the registry.
+//
+//caft:deterministic
+package hoft
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"caft/internal/dag"
+	"caft/internal/sched"
+)
+
+func init() {
+	sched.Register(sched.Descriptor{
+		Name: "hoft", ID: 5,
+		Caps: sched.Caps{Deterministic: true, Append: true, Insertion: true},
+		New: func(p *sched.Problem, eps int, rng *rand.Rand) (*sched.Schedule, error) {
+			if eps != 0 {
+				return nil, fmt.Errorf("hoft: fault-free reference takes eps 0, got %d", eps)
+			}
+			return Schedule(p, rng)
+		},
+	})
+}
+
+// Schedule runs HOFT on the problem. rng breaks priority ties, like the
+// paper's other list schedulers ("ties are broken randomly").
+func Schedule(p *sched.Problem, rng *rand.Rand) (*sched.Schedule, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	oft, err := OFT(p)
+	if err != nil {
+		return nil, err
+	}
+	g, m := p.G, p.Plat.M
+	n := g.NumTasks()
+
+	// Priority: mean optimistic finish over processors.
+	prio := make([]float64, n)
+	for t := range prio {
+		sum := 0.0
+		for _, v := range oft[t] {
+			sum += v
+		}
+		prio[t] = sum / float64(m)
+	}
+
+	st := sched.NewState(p)
+	unsched := make([]int, n)
+	var free []dag.TaskID
+	for t := 0; t < n; t++ {
+		unsched[t] = g.InDegree(dag.TaskID(t))
+		if unsched[t] == 0 {
+			free = append(free, dag.TaskID(t))
+		}
+	}
+	scheduled := 0
+	for len(free) > 0 {
+		// Pop the free task with the highest priority; ties are broken
+		// uniformly, mirroring sched.Lister.
+		best, ties := 0, 1
+		for i := 1; i < len(free); i++ {
+			switch pi, pb := prio[free[i]], prio[free[best]]; {
+			case pi > pb:
+				best, ties = i, 1
+			case pi == pb:
+				ties++
+				if rng.Intn(ties) == 0 {
+					best = i
+				}
+			}
+		}
+		t := free[best]
+		free = append(free[:best], free[best+1:]...)
+
+		// Place on the processor minimizing EFT + optimistic remaining
+		// path (OFT minus the local execution already counted in EFT).
+		sources := st.FullSources(t)
+		bestProc, bestScore, bestFinish := -1, math.Inf(1), math.Inf(1)
+		for proc := 0; proc < m; proc++ {
+			rep, err := st.ProbeReplica(t, 0, proc, sources)
+			if err != nil {
+				return nil, err
+			}
+			score := rep.Finish + oft[t][proc] - p.Exec[t][proc]
+			if score < bestScore || (score == bestScore && rep.Finish < bestFinish) {
+				bestProc, bestScore, bestFinish = proc, score, rep.Finish
+			}
+		}
+		if _, err := st.PlaceReplica(t, 0, bestProc, sources); err != nil {
+			return nil, err
+		}
+		scheduled++
+		for _, e := range g.Succ(t) {
+			unsched[e.To]--
+			if unsched[e.To] == 0 {
+				free = append(free, e.To)
+			}
+		}
+	}
+	if scheduled != n {
+		return nil, fmt.Errorf("hoft: %d of %d tasks never became free (cyclic graph?)", n-scheduled, n)
+	}
+	return st.Snapshot(), nil
+}
+
+// OFT computes the optimistic finish-time table OFT[task][proc] by a
+// backward sweep over the DAG: exit tasks cost their execution time,
+// and an inner task on p optimistically assumes each child lands on its
+// best processor, paying the actual pairwise transfer cost only when
+// that processor differs from p.
+func OFT(p *sched.Problem) ([][]float64, error) {
+	g, m := p.G, p.Plat.M
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	net := p.Network()
+	oft := make([][]float64, g.NumTasks())
+	for i := len(order) - 1; i >= 0; i-- {
+		t := order[i]
+		row := make([]float64, m)
+		for proc := 0; proc < m; proc++ {
+			acc := 0.0
+			for _, e := range g.Succ(t) {
+				minC := math.Inf(1)
+				for q := 0; q < m; q++ {
+					c := oft[e.To][q]
+					if q != proc {
+						c += net.Dur(proc, q, e.Volume)
+					}
+					if c < minC {
+						minC = c
+					}
+				}
+				if minC > acc {
+					acc = minC
+				}
+			}
+			row[proc] = p.Exec[t][proc] + acc
+		}
+		oft[t] = row
+	}
+	return oft, nil
+}

@@ -1,0 +1,50 @@
+package caft
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"caft/internal/sched"
+)
+
+// README.md's Serving section enumerates the schedulers caftd accepts.
+// That list is prose, so nothing forces it to track the registry — this
+// test does. Importing the root package pulls in every scheduler the
+// facade re-exports, so sched.Names() here is the full registry, and a
+// scheduler added without a README mention (or a README mention without
+// a registration) fails the build gate rather than shipping stale docs.
+func TestREADMESchedulerList(t *testing.T) {
+	readme, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := sched.Names()
+	quoted := make([]string, len(names))
+	for i, n := range names {
+		quoted[i] = "`" + n + "`"
+	}
+	// Matching the joined list verbatim catches drift in both
+	// directions: a registered scheduler missing from the README breaks
+	// the suffix, and a stale README name breaks the run of separators.
+	want := strings.Join(quoted, ", ")
+	if !strings.Contains(string(readme), want) {
+		t.Fatalf("README.md does not contain the registry's scheduler list %s — regenerate the Serving section from sched.Names()", want)
+	}
+}
+
+// The package map must have a row for every scheduler subpackage the
+// facade links in, so the table can't silently lag the tree.
+func TestREADMEPackageMapSchedulers(t *testing.T) {
+	readme, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pkg := range []string{"heft", "hoft", "ftsa", "ftbar", "all"} {
+		row := fmt.Sprintf("| `internal/sched/%s` |", pkg)
+		if !strings.Contains(string(readme), row) {
+			t.Fatalf("README package map is missing a row for internal/sched/%s", pkg)
+		}
+	}
+}
