@@ -1,11 +1,14 @@
 // Command caftvet mechanically enforces the repo's determinism,
-// scratch-aliasing and error-sentinel contracts (DESIGN.md S8) with
-// four analyzers:
+// scratch-aliasing, error-sentinel, goroutine-confinement and
+// zero-allocation contracts (DESIGN.md S8 and S10) with six
+// analyzers:
 //
+//	confine       //caft:confined values crossing a goroutine boundary
 //	errsentinel   ==/!= against exported Err... sentinels -> errors.Is
 //	maporder      map iteration in //caft:deterministic packages
 //	nondet        ambient time/rand/env/scheduler reads in those packages
 //	scratchalias  retained results of //caft:scratch methods
+//	zeroalloc     allocation sites in //caft:zeroalloc functions
 //
 // Two ways to run it:
 //
@@ -13,12 +16,13 @@
 //	go vet -vettool=$(which caftvet) ./...     # as the go vet tool
 //
 // Standalone mode loads every matched package in one process, so
-// cross-package //caft:scratch annotations are always visible; it is
-// what CI runs. Vettool mode speaks the go vet unit-checker protocol
-// (-V=full, -flags, one JSON vet.cfg per compilation unit) and
-// propagates scratch annotations between units as JSON facts through
-// the .vetx files go vet already plumbs; it composes with go vet's
-// caching and the standard analyzers' UX.
+// cross-package //caft:scratch, //caft:confined and //caft:zeroalloc
+// annotations are always visible; it is what CI runs. Vettool mode
+// speaks the go vet unit-checker protocol (-V=full, -flags, one JSON
+// vet.cfg per compilation unit) and propagates those annotations
+// between units as JSON facts through the .vetx files go vet already
+// plumbs; it composes with go vet's caching and the standard
+// analyzers' UX.
 //
 // Exit status: 0 clean, 1 operational error, 2 diagnostics found
 // (matching go vet's convention).
@@ -63,8 +67,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	switch {
 	case *version != "":
 		// go vet derives its cache key from this line; any stable
-		// "name version ..." string works.
-		fmt.Fprintf(stdout, "caftvet version caft-suite-v1\n")
+		// "name version ..." string works. Bumped whenever the analyzer
+		// set or a diagnostic's meaning changes, so stale vet caches
+		// cannot mask new findings.
+		fmt.Fprintf(stdout, "caftvet version caft-suite-v2\n")
 		return 0
 	case *flagsOut:
 		// go vet queries supported flags as a JSON array; caftvet

@@ -36,7 +36,7 @@ func TestDirtyFixtureFiresEveryAnalyzer(t *testing.T) {
 	if code != 2 {
 		t.Fatalf("caftvet over dirty fixture: exit %d, want 2\nstderr: %s", code, stderr)
 	}
-	for _, analyzer := range []string{"errsentinel", "maporder", "nondet", "scratchalias"} {
+	for _, analyzer := range []string{"confine", "errsentinel", "maporder", "nondet", "scratchalias", "zeroalloc"} {
 		if !strings.Contains(stderr, analyzer+": ") {
 			t.Errorf("dirty fixture: no %s diagnostic in output:\n%s", analyzer, stderr)
 		}
@@ -59,8 +59,8 @@ func TestJSONOutput(t *testing.T) {
 		t.Fatalf("-json output is not valid JSON: %v\n%s", err, stdout)
 	}
 	dirty := parsed["caft/cmd/caftvet/testdata/src/dirty"]
-	if len(dirty) != 4 {
-		t.Fatalf("want diagnostics from 4 analyzers for dirty, got %d: %v", len(dirty), dirty)
+	if len(dirty) != 6 {
+		t.Fatalf("want diagnostics from 6 analyzers for dirty, got %d: %v", len(dirty), dirty)
 	}
 }
 
@@ -110,7 +110,7 @@ func TestGoVetVettool(t *testing.T) {
 	if err == nil {
 		t.Fatalf("go vet -vettool over dirty fixture passed; want diagnostics\n%s", out)
 	}
-	for _, analyzer := range []string{"errsentinel", "maporder", "nondet", "scratchalias"} {
+	for _, analyzer := range []string{"confine", "errsentinel", "maporder", "nondet", "scratchalias", "zeroalloc"} {
 		if !strings.Contains(string(out), analyzer+": ") {
 			t.Errorf("go vet -vettool: no %s diagnostic:\n%s", analyzer, out)
 		}

@@ -57,3 +57,19 @@ func Consume(b *scratchlib.Buf) int {
 	}
 	return n
 }
+
+// Run hands a Core to a worker and takes it back: the sanctioned
+// pool-boundary shape, annotated as such.
+func Run(c *scratchlib.Core) {
+	ch := make(chan *scratchlib.Core, 1)
+	ch <- c     //caft:share-ok worker-pool handoff; the worker owns c until it is checked back in
+	got := <-ch //caft:share-ok checked back in; the sender no longer touches it
+	got.Step()
+}
+
+// Grand stays allocation-free by leaning on Sum's imported fact.
+//
+//caft:zeroalloc
+func Grand(xs []int) int {
+	return scratchlib.Sum(xs)
+}

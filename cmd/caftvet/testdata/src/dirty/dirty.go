@@ -37,3 +37,18 @@ func IsBroken(err error) bool {
 func Retain(h *holder, b *scratchlib.Buf) {
 	h.kept = b.Items() // scratchalias, via the imported annotation
 }
+
+func Share(c *scratchlib.Core) {
+	go func() {
+		c.Step() // confine, via the imported type fact
+	}()
+}
+
+// Hot is pinned zero-alloc but allocates anyway.
+//
+//caft:zeroalloc
+func Hot(xs []int) int {
+	buf := make([]int, len(xs)) // zeroalloc: make
+	copy(buf, xs)
+	return scratchlib.Sum(buf) + len(scratchlib.Grow(xs)) // zeroalloc: Grow is unannotated (Sum is fine, via the imported fact)
+}

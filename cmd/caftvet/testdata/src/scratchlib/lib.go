@@ -23,3 +23,32 @@ func (b *Buf) Items() []int {
 func (b *Buf) ItemsCopy() []int {
 	return append([]int(nil), b.Items()...)
 }
+
+// Core is a per-request engine: single-goroutine by contract. The
+// misuse fixtures share it across goroutines from another package,
+// which only gets caught if the confinement fact crosses units.
+//
+//caft:confined
+type Core struct {
+	n int
+}
+
+// Step advances the core.
+func (c *Core) Step() { c.n++ }
+
+// Sum is allocation-free; annotated callers in other packages may
+// call it only because this fact travels with the package.
+//
+//caft:zeroalloc
+func Sum(xs []int) int {
+	n := 0
+	for _, x := range xs {
+		n += x
+	}
+	return n
+}
+
+// Grow allocates and says nothing about it.
+func Grow(xs []int) []int {
+	return append(append([]int(nil), xs...), 0)
+}

@@ -36,14 +36,21 @@ type expectation struct {
 	matched bool
 }
 
-// Run loads pkgdir (a path relative to the test's working directory,
-// e.g. "testdata/src/a"), applies the analyzer, and reports any
-// mismatch between produced diagnostics and // want expectations.
-func Run(t *testing.T, a *analysis.Analyzer, pkgdir string) {
+// Run loads the pkgdirs (paths relative to the test's working
+// directory, e.g. "testdata/src/a"), applies the analyzer, and reports
+// any mismatch between produced diagnostics and // want expectations.
+// Passing several directories loads them as one world — the directive
+// index spans all of them, which is how cross-package annotation cases
+// are exercised.
+func Run(t *testing.T, a *analysis.Analyzer, pkgdirs ...string) {
 	t.Helper()
-	pkgs, err := analysis.Load("", "./"+pkgdir)
+	patterns := make([]string, len(pkgdirs))
+	for i, d := range pkgdirs {
+		patterns[i] = "./" + d
+	}
+	pkgs, err := analysis.Load("", patterns...)
 	if err != nil {
-		t.Fatalf("loading %s: %v", pkgdir, err)
+		t.Fatalf("loading %v: %v", pkgdirs, err)
 	}
 	findings, err := analysis.Run(pkgs, []*analysis.Analyzer{a}, nil)
 	if err != nil {

@@ -10,7 +10,7 @@ import (
 	"strings"
 )
 
-// Directive grammar (documented in DESIGN.md S8):
+// Directive grammar (documented in DESIGN.md S8 and S10):
 //
 //	//caft:deterministic
 //	    In a package doc comment. Declares that the package's outputs
@@ -19,9 +19,12 @@ import (
 //
 //	//caft:unordered-ok <reason>
 //	//caft:nondet-ok <reason>
+//	//caft:share-ok <reason>
+//	//caft:alloc-ok <reason>
 //	    On the flagged line, or the line directly above it. Suppresses
-//	    one maporder (resp. nondet) diagnostic. The reason is
-//	    mandatory; an empty reason is itself a diagnostic.
+//	    the maporder (resp. nondet, confine, zeroalloc) diagnostics on
+//	    that line. The reason is mandatory; an empty reason is itself
+//	    a diagnostic.
 //
 //	//caft:scratch [safe=Method]
 //	    In a method or function doc comment. Declares that the result
@@ -30,13 +33,32 @@ import (
 //	    site. safe= names the copying variant callers should use to
 //	    retain the result.
 //
+//	//caft:confined
+//	    In a type declaration's doc comment. Declares the type
+//	    single-goroutine: its values must not be captured by go
+//	    statements, cross channels, live in package-level variables or
+//	    sit in fields of non-confined types. Checked by the confine
+//	    analyzer; exported as a type fact so misuse in dependent
+//	    compilation units is caught too.
+//
+//	//caft:zeroalloc
+//	    In a function or method doc comment. Declares the body
+//	    allocation-free on every path; the zeroalloc analyzer flags
+//	    allocation sites and calls to functions not themselves marked
+//	    //caft:zeroalloc (or known allocation-free). Exported as a
+//	    fact so annotated hot paths compose across packages.
+//
 // Like //go:build and friends, the comments must start at the
 // beginning of the line with no space after "//".
 const (
 	dirDeterministic = "//caft:deterministic"
 	dirUnorderedOK   = "//caft:unordered-ok"
 	dirNondetOK      = "//caft:nondet-ok"
+	dirShareOK       = "//caft:share-ok"
+	dirAllocOK       = "//caft:alloc-ok"
 	dirScratch       = "//caft:scratch"
+	dirConfined      = "//caft:confined"
+	dirZeroalloc     = "//caft:zeroalloc"
 )
 
 // ScratchInfo describes one //caft:scratch annotation.
@@ -44,25 +66,38 @@ type ScratchInfo struct {
 	Safe string `json:"safe,omitempty"` // copying variant to steer callers to, if any
 }
 
-// LineDirective is one //caft:unordered-ok or //caft:nondet-ok
-// suppression, anchored to the source line its comment starts on.
+// LineDirective is one //caft:unordered-ok, //caft:nondet-ok,
+// //caft:share-ok or //caft:alloc-ok suppression, anchored to the
+// source line its comment starts on.
 type LineDirective struct {
-	Kind   string // "unordered-ok" or "nondet-ok"
+	Kind   string // "unordered-ok", "nondet-ok", "share-ok" or "alloc-ok"
 	Reason string
 	Pos    token.Pos
 	used   bool
+}
+
+// StrayDirective is a declaration directive (//caft:confined,
+// //caft:zeroalloc) that is not anchored to a declaration of the right
+// kind — the comment outlived the type or function it annotated.
+type StrayDirective struct {
+	Kind string // "confined" or "zeroalloc"
+	Pos  token.Pos
 }
 
 // Directives indexes every //caft: directive of a set of loaded
 // packages. It is the repo-grown substitute for go/analysis facts:
 // the caftvet driver builds one index over all packages of a load (so
 // a scratch annotation in internal/sched is visible while analyzing
-// internal/core), and in `go vet -vettool` mode the scratch entries
-// of each package travel between compilation units as JSON facts.
+// internal/core), and in `go vet -vettool` mode the scratch, confined
+// and zeroalloc entries of each package travel between compilation
+// units as JSON facts.
 type Directives struct {
 	deterministic map[string]bool
-	scratch       map[string]ScratchInfo            // see scratchKey
-	lines         map[string]map[int]*LineDirective // filename -> line
+	scratch       map[string]ScratchInfo              // see scratchKey
+	confined      map[string]bool                     // "pkg.Type"
+	zeroalloc     map[string]bool                     // same keys as scratch
+	lines         map[string]map[int][]*LineDirective // filename -> line
+	strays        map[string][]StrayDirective         // filename -> unanchored decl directives
 }
 
 // NewDirectives returns an empty index.
@@ -70,7 +105,10 @@ func NewDirectives() *Directives {
 	return &Directives{
 		deterministic: make(map[string]bool),
 		scratch:       make(map[string]ScratchInfo),
-		lines:         make(map[string]map[int]*LineDirective),
+		confined:      make(map[string]bool),
+		zeroalloc:     make(map[string]bool),
+		lines:         make(map[string]map[int][]*LineDirective),
+		strays:        make(map[string][]StrayDirective),
 	}
 }
 
@@ -89,12 +127,50 @@ func (d *Directives) addFile(p *Package, f *ast.File) {
 			}
 		}
 	}
+	// anchored records declaration-directive comments that sit in the
+	// doc group of a declaration of the right kind; occurrences found
+	// elsewhere in the file are stale and reported by their analyzer.
+	anchored := make(map[token.Pos]bool)
 	for _, decl := range f.Decls {
-		fd, ok := decl.(*ast.FuncDecl)
-		if ok && fd.Doc != nil {
-			for _, c := range fd.Doc.List {
+		switch dd := decl.(type) {
+		case *ast.FuncDecl:
+			if dd.Doc == nil {
+				continue
+			}
+			for _, c := range dd.Doc.List {
 				if rest, ok := cutDirective(c.Text, dirScratch); ok {
-					d.scratch[scratchKeyAST(p.PkgPath, fd)] = parseScratch(rest)
+					d.scratch[scratchKeyAST(p.PkgPath, dd)] = parseScratch(rest)
+				}
+				if _, ok := cutDirective(c.Text, dirZeroalloc); ok {
+					d.zeroalloc[scratchKeyAST(p.PkgPath, dd)] = true
+					anchored[c.Pos()] = true
+				}
+			}
+		case *ast.GenDecl:
+			if dd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range dd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				// A single `type Foo ...` hangs its doc on the GenDecl;
+				// specs inside a `type (...)` block carry their own.
+				docs := []*ast.CommentGroup{ts.Doc}
+				if len(dd.Specs) == 1 {
+					docs = append(docs, dd.Doc)
+				}
+				for _, doc := range docs {
+					if doc == nil {
+						continue
+					}
+					for _, c := range doc.List {
+						if _, ok := cutDirective(c.Text, dirConfined); ok {
+							d.confined[p.PkgPath+"."+ts.Name.Name] = true
+							anchored[c.Pos()] = true
+						}
+					}
 				}
 			}
 		}
@@ -106,20 +182,32 @@ func (d *Directives) addFile(p *Package, f *ast.File) {
 				kind, rest = "unordered-ok", r
 			} else if r, ok := cutDirective(c.Text, dirNondetOK); ok {
 				kind, rest = "nondet-ok", r
+			} else if r, ok := cutDirective(c.Text, dirShareOK); ok {
+				kind, rest = "share-ok", r
+			} else if r, ok := cutDirective(c.Text, dirAllocOK); ok {
+				kind, rest = "alloc-ok", r
 			} else {
+				if _, ok := cutDirective(c.Text, dirConfined); ok && !anchored[c.Pos()] {
+					posn := p.Fset.Position(c.Pos())
+					d.strays[posn.Filename] = append(d.strays[posn.Filename], StrayDirective{Kind: "confined", Pos: c.Pos()})
+				}
+				if _, ok := cutDirective(c.Text, dirZeroalloc); ok && !anchored[c.Pos()] {
+					posn := p.Fset.Position(c.Pos())
+					d.strays[posn.Filename] = append(d.strays[posn.Filename], StrayDirective{Kind: "zeroalloc", Pos: c.Pos()})
+				}
 				continue
 			}
 			posn := p.Fset.Position(c.Pos())
 			byLine := d.lines[posn.Filename]
 			if byLine == nil {
-				byLine = make(map[int]*LineDirective)
+				byLine = make(map[int][]*LineDirective)
 				d.lines[posn.Filename] = byLine
 			}
-			byLine[posn.Line] = &LineDirective{
+			byLine[posn.Line] = append(byLine[posn.Line], &LineDirective{
 				Kind:   kind,
 				Reason: strings.TrimSpace(rest),
 				Pos:    c.Pos(),
-			}
+			})
 		}
 	}
 }
@@ -159,10 +247,34 @@ func (d *Directives) Scratch(fn *types.Func) (ScratchInfo, bool) {
 	return info, ok
 }
 
-// SuppressedAt returns the unordered-ok / nondet-ok directive covering
+// Confined reports whether the named type carries //caft:confined —
+// declared in a loaded package or imported as a fact.
+func (d *Directives) Confined(obj *types.TypeName) bool {
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	return d.confined[obj.Pkg().Path()+"."+obj.Name()]
+}
+
+// Zeroalloc reports whether the function or method carries
+// //caft:zeroalloc — declared in a loaded package or imported as a
+// fact.
+func (d *Directives) Zeroalloc(fn *types.Func) bool {
+	return d.zeroalloc[scratchKeyFunc(fn)]
+}
+
+// ZeroallocDecl reports whether the function declaration carries
+// //caft:zeroalloc, keyed from syntax — used by the zeroalloc analyzer
+// to pick the bodies it walks.
+func (d *Directives) ZeroallocDecl(pkgPath string, fd *ast.FuncDecl) bool {
+	return d.zeroalloc[scratchKeyAST(pkgPath, fd)]
+}
+
+// SuppressedAt returns the line suppression of the given kind covering
 // pos: one whose comment starts on the same line as pos or on the line
 // directly above. The returned directive is marked used, which feeds
-// the unused-suppression check.
+// the unused-suppression check. One directive suppresses every
+// diagnostic of its kind on its line.
 func (d *Directives) SuppressedAt(fset *token.FileSet, pos token.Pos, kind string) (*LineDirective, bool) {
 	posn := fset.Position(pos)
 	byLine := d.lines[posn.Filename]
@@ -170,9 +282,11 @@ func (d *Directives) SuppressedAt(fset *token.FileSet, pos token.Pos, kind strin
 		return nil, false
 	}
 	for _, line := range []int{posn.Line, posn.Line - 1} {
-		if ld := byLine[line]; ld != nil && ld.Kind == kind {
-			ld.used = true
-			return ld, true
+		for _, ld := range byLine[line] {
+			if ld.Kind == kind {
+				ld.used = true
+				return ld, true
+			}
 		}
 	}
 	return nil, false
@@ -185,9 +299,27 @@ func (d *Directives) UnusedIn(fset *token.FileSet, f *ast.File, kind string) []*
 	posn := fset.Position(f.Pos())
 	byLine := d.lines[posn.Filename]
 	var out []*LineDirective
-	for _, ld := range byLine { //caft:unordered-ok sorted by position below
-		if !ld.used && ld.Kind == kind {
-			out = append(out, ld)
+	for _, lds := range byLine { //caft:unordered-ok sorted by position below
+		for _, ld := range lds {
+			if !ld.used && ld.Kind == kind {
+				out = append(out, ld)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
+	return out
+}
+
+// StraysIn returns the unanchored declaration directives of one file,
+// in position order: a //caft:confined not in a type declaration's doc
+// comment, or a //caft:zeroalloc not in a function's — what remains
+// when the declaration is deleted or the comment drifts from it.
+func (d *Directives) StraysIn(fset *token.FileSet, f *ast.File, kind string) []StrayDirective {
+	posn := fset.Position(f.Pos())
+	var out []StrayDirective
+	for _, s := range d.strays[posn.Filename] {
+		if s.Kind == kind {
+			out = append(out, s)
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
@@ -242,18 +374,36 @@ func scratchKeyFunc(fn *types.Func) string {
 	return pkg.Path() + "." + name + "." + fn.Name()
 }
 
-// scratchFacts is the serialized fact format exchanged between
-// compilation units in vettool mode.
-type scratchFacts struct {
-	Scratch map[string]ScratchInfo `json:"scratch,omitempty"`
+// vetFacts is the serialized fact format exchanged between compilation
+// units in vettool mode: the scratch, confined and zeroalloc
+// annotations a package exports to its dependents.
+type vetFacts struct {
+	Scratch   map[string]ScratchInfo `json:"scratch,omitempty"`
+	Confined  map[string]bool        `json:"confined,omitempty"`
+	Zeroalloc map[string]bool        `json:"zeroalloc,omitempty"`
 }
 
-// EncodeFacts serializes the scratch annotations declared by pkgPath.
+// EncodeFacts serializes the annotations declared by pkgPath.
 func (d *Directives) EncodeFacts(pkgPath string) ([]byte, error) {
-	out := scratchFacts{Scratch: make(map[string]ScratchInfo)}
+	out := vetFacts{
+		Scratch:   make(map[string]ScratchInfo),
+		Confined:  make(map[string]bool),
+		Zeroalloc: make(map[string]bool),
+	}
+	prefix := pkgPath + "."
 	for k, v := range d.scratch { //caft:unordered-ok json.Marshal sorts map keys
-		if strings.HasPrefix(k, pkgPath+".") {
+		if strings.HasPrefix(k, prefix) {
 			out.Scratch[k] = v
+		}
+	}
+	for k, v := range d.confined { //caft:unordered-ok json.Marshal sorts map keys
+		if strings.HasPrefix(k, prefix) {
+			out.Confined[k] = v
+		}
+	}
+	for k, v := range d.zeroalloc { //caft:unordered-ok json.Marshal sorts map keys
+		if strings.HasPrefix(k, prefix) {
+			out.Zeroalloc[k] = v
 		}
 	}
 	return json.Marshal(out)
@@ -264,12 +414,18 @@ func (d *Directives) DecodeFacts(data []byte) error {
 	if len(data) == 0 {
 		return nil
 	}
-	var in scratchFacts
+	var in vetFacts
 	if err := json.Unmarshal(data, &in); err != nil {
 		return fmt.Errorf("decoding caftvet facts: %v", err)
 	}
 	for k, v := range in.Scratch { //caft:unordered-ok map-to-map merge is order-insensitive
 		d.scratch[k] = v
+	}
+	for k, v := range in.Confined { //caft:unordered-ok map-to-map merge is order-insensitive
+		d.confined[k] = v
+	}
+	for k, v := range in.Zeroalloc { //caft:unordered-ok map-to-map merge is order-insensitive
+		d.zeroalloc[k] = v
 	}
 	return nil
 }

@@ -1,0 +1,19 @@
+package confine_test
+
+import (
+	"testing"
+
+	"caft/internal/analysis/analysistest"
+	"caft/internal/analysis/passes/confine"
+)
+
+func TestConfine(t *testing.T) {
+	analysistest.Run(t, confine.Analyzer, "testdata/src/a")
+}
+
+// TestConfineCrossPackage loads the annotated library and its misuser
+// as one world: the directive is declared in lib, every finding is in
+// b.
+func TestConfineCrossPackage(t *testing.T) {
+	analysistest.Run(t, confine.Analyzer, "testdata/src/lib", "testdata/src/b")
+}

@@ -1,0 +1,96 @@
+// Package a exercises every confine rule in one package.
+package a
+
+// State is a single-goroutine value.
+//
+//caft:confined
+type State struct {
+	n int
+}
+
+// Wrapper propagates the contract, so holding a *State is fine here.
+//
+//caft:confined
+type Wrapper struct {
+	st *State // ok: confined type may hold confined fields
+}
+
+// Holder is not confined and must not hold a State.
+type Holder struct {
+	st    *State   // want `confined a\.State held in a field of non-confined type Holder`
+	many  []*State // want `confined a\.State held in a field of non-confined type Holder`
+	clean int
+}
+
+// Pool is a designed handoff table.
+type Pool struct {
+	slots []*State //caft:share-ok workers check slots back in before reuse
+}
+
+// Bare is suppressed without a reason, which is its own finding.
+type Bare struct {
+	//caft:share-ok
+	st *State // want `//caft:share-ok needs a reason`
+}
+
+var shared *State // want `confined a\.State held in package variable shared`
+
+var anyShared any
+
+func Local() *State {
+	st := &State{} // ok: local binding, ordinary calls, returns all stay on-goroutine
+	use(st)
+	return st
+}
+
+func use(*State) {}
+
+func Spawn(st *State) {
+	go use(st) // want `confined a\.State passed to a go statement`
+	go func() {
+		st.n++ // want `confined a\.State captured by a go'd function literal`
+	}()
+	go func(own *State) {
+		own.n++ // ok: the argument finding is the one diagnostic
+	}(st) // want `confined a\.State passed to a go statement`
+	go st.run() // want `method of confined a\.State launched as a goroutine`
+}
+
+func (st *State) run() {}
+
+func SpawnOK(st *State) {
+	done := make(chan int)
+	go func() {
+		done <- 1 // ok: nothing confined crosses
+	}()
+	<-done
+}
+
+func Channels(ch chan *State, st *State) {
+	ch <- st  // want `confined a\.State sent on a channel`
+	st = <-ch // want `confined a\.State received from a channel`
+	_ = st
+}
+
+func Handoff(ch chan *State, st *State) {
+	ch <- st  //caft:share-ok pool handoff; the worker owns st until it is checked back in
+	st = <-ch //caft:share-ok checked back in by the worker that owned it
+	_ = st
+}
+
+func StoreGlobal(st *State) {
+	anyShared = st // want `confined a\.State stored in package variable anyShared`
+}
+
+func AnonStruct(st *State) {
+	runs := []struct {
+		st *State // want `confined a\.State held in a field of an anonymous struct`
+	}{{st: st}}
+	_ = runs
+}
+
+//caft:confined // want `stale //caft:confined: not the doc comment of a type declaration`
+
+func Stale() {
+	_ = 1 //caft:share-ok unused // want `stale //caft:share-ok: no suppressed confinement violation`
+}

@@ -1,0 +1,24 @@
+// Package b misuses lib.Engine; the //caft:confined directive lives
+// in package lib, so every finding here rides on the cross-package
+// fact.
+package b
+
+import "caft/internal/analysis/passes/confine/testdata/src/lib"
+
+type runner struct {
+	eng *lib.Engine // want `confined lib\.Engine held in a field of non-confined type runner`
+}
+
+func Spawn(e *lib.Engine) {
+	go func() {
+		e.Step() // want `confined lib\.Engine captured by a go'd function literal`
+	}()
+}
+
+func Send(ch chan *lib.Engine, e *lib.Engine) {
+	ch <- e // want `confined lib\.Engine sent on a channel`
+}
+
+func Handoff(ch chan *lib.Engine, e *lib.Engine) {
+	ch <- e //caft:share-ok the worker owns e until the run completes
+}

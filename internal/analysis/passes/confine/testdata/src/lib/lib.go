@@ -1,0 +1,13 @@
+// Package lib declares a confined type whose misuse lives in package
+// b — catching it proves the confinement fact crosses packages.
+package lib
+
+// Engine is single-goroutine.
+//
+//caft:confined
+type Engine struct {
+	n int
+}
+
+// Step advances the engine.
+func (e *Engine) Step() { e.n++ }

@@ -12,7 +12,12 @@
 //
 // Flagged in deterministic packages:
 //
-//   - time.Now, time.Since, time.Until — ambient clock reads;
+//   - time.Now, time.Since, time.Until — ambient clock reads — and
+//     time.After, time.Tick, time.NewTimer, time.NewTicker, which
+//     start wall-clock timers (simulated time comes from the
+//     schedule, never from a timer firing);
+//   - crypto/rand.Read, Int, Prime, Text — the system entropy pool
+//     (os.ReadDir ordering, by contrast, is sorted and fine);
 //   - package-level math/rand and math/rand/v2 functions (rand.Intn,
 //     rand.Shuffle, ...) — the process-global generator; methods on
 //     an explicit *rand.Rand are the sanctioned alternative and are
@@ -49,9 +54,19 @@ var Analyzer = &analysis.Analyzer{
 // badCalls maps package path -> function name -> hazard description.
 var badCalls = map[string]map[string]string{
 	"time": {
-		"Now":   "reads the wall clock",
-		"Since": "reads the wall clock",
-		"Until": "reads the wall clock",
+		"Now":       "reads the wall clock",
+		"Since":     "reads the wall clock",
+		"Until":     "reads the wall clock",
+		"After":     "starts a wall-clock timer",
+		"Tick":      "starts a wall-clock ticker",
+		"NewTimer":  "starts a wall-clock timer",
+		"NewTicker": "starts a wall-clock ticker",
+	},
+	"crypto/rand": {
+		"Read":  "draws from the system entropy pool",
+		"Int":   "draws from the system entropy pool",
+		"Prime": "draws from the system entropy pool",
+		"Text":  "draws from the system entropy pool",
 	},
 	"os": {
 		"Getenv":    "makes behavior depend on the process environment",

@@ -5,6 +5,7 @@
 package a
 
 import (
+	cryptorand "crypto/rand"
 	"math/rand"
 	randv2 "math/rand/v2"
 	"os"
@@ -16,6 +17,20 @@ func Clock() (int64, float64) {
 	t := time.Now()    // want `call to time\.Now in deterministic package .* reads the wall clock`
 	d := time.Since(t) // want `call to time\.Since in deterministic package .* reads the wall clock`
 	return t.Unix(), d.Seconds()
+}
+
+func Timers() {
+	<-time.After(time.Second)        // want `call to time\.After .* starts a wall-clock timer`
+	tm := time.NewTimer(time.Second) // want `call to time\.NewTimer .* starts a wall-clock timer`
+	tm.Stop()
+	tk := time.NewTicker(time.Second) // want `call to time\.NewTicker .* starts a wall-clock ticker`
+	tk.Stop()
+}
+
+func Entropy() []byte {
+	var buf [16]byte
+	cryptorand.Read(buf[:]) // want `call to crypto/rand\.Read .* draws from the system entropy pool`
+	return buf[:]
 }
 
 func GlobalRand() int {

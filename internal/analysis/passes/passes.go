@@ -3,18 +3,22 @@ package passes
 
 import (
 	"caft/internal/analysis"
+	"caft/internal/analysis/passes/confine"
 	"caft/internal/analysis/passes/errsentinel"
 	"caft/internal/analysis/passes/maporder"
 	"caft/internal/analysis/passes/nondet"
 	"caft/internal/analysis/passes/scratchalias"
+	"caft/internal/analysis/passes/zeroalloc"
 )
 
 // All returns the full suite in stable order.
 func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
+		confine.Analyzer,
 		errsentinel.Analyzer,
 		maporder.Analyzer,
 		nondet.Analyzer,
 		scratchalias.Analyzer,
+		zeroalloc.Analyzer,
 	}
 }

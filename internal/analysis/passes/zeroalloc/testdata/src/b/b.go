@@ -1,0 +1,21 @@
+// Package b calls into lib from its own //caft:zeroalloc functions;
+// the annotations live in package lib, so every verdict here rides on
+// the cross-package fact.
+package b
+
+import "caft/internal/analysis/passes/zeroalloc/testdata/src/lib"
+
+//caft:zeroalloc
+func Hot(x int) int {
+	return lib.Step(x) // ok: callee's annotation imported from lib
+}
+
+//caft:zeroalloc
+func Bump(c *lib.Counter) {
+	c.Inc() // ok: method annotation imported from lib
+}
+
+//caft:zeroalloc
+func Cold() []int {
+	return lib.Build() // want `call to lib\.Build, which is not marked //caft:zeroalloc`
+}

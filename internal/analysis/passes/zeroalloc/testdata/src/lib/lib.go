@@ -1,0 +1,22 @@
+// Package lib declares annotated and unannotated functions whose
+// callers live in package b — catching the difference there proves
+// the zeroalloc fact crosses packages.
+package lib
+
+// Counter is a tiny stateful helper.
+type Counter struct {
+	n int
+}
+
+// Inc is allocation-free.
+//
+//caft:zeroalloc
+func (c *Counter) Inc() { c.n++ }
+
+// Step is allocation-free.
+//
+//caft:zeroalloc
+func Step(x int) int { return x + 1 }
+
+// Build allocates and says nothing about it.
+func Build() []int { return make([]int, 4) }

@@ -1,0 +1,19 @@
+package zeroalloc_test
+
+import (
+	"testing"
+
+	"caft/internal/analysis/analysistest"
+	"caft/internal/analysis/passes/zeroalloc"
+)
+
+func TestZeroalloc(t *testing.T) {
+	analysistest.Run(t, zeroalloc.Analyzer, "testdata/src/a")
+}
+
+// TestZeroallocCrossPackage loads the annotated library and its
+// caller as one world: the annotations are declared in lib, the
+// verdicts land in b.
+func TestZeroallocCrossPackage(t *testing.T) {
+	analysistest.Run(t, zeroalloc.Analyzer, "testdata/src/lib", "testdata/src/b")
+}

@@ -183,6 +183,7 @@ type repKey struct {
 	copy int
 }
 
+//caft:confined
 type scheduler struct {
 	st       *sched.State
 	eps      int

@@ -73,26 +73,40 @@ func (g *DAG) AddEdge(from, to TaskID, volume float64) {
 func (g *DAG) valid(t TaskID) bool { return t >= 0 && int(t) < len(g.names) }
 
 // NumTasks returns v = |V|.
+//
+//caft:zeroalloc
 func (g *DAG) NumTasks() int { return len(g.names) }
 
 // NumEdges returns e = |E|.
+//
+//caft:zeroalloc
 func (g *DAG) NumEdges() int { return g.edges }
 
 // Name returns the task's name.
+//
+//caft:zeroalloc
 func (g *DAG) Name(t TaskID) string { return g.names[t] }
 
 // Succ returns the outgoing edges of t (Γ+(t)). The slice must not be
 // modified by the caller.
+//
+//caft:zeroalloc
 func (g *DAG) Succ(t TaskID) []Edge { return g.succ[t] }
 
 // Pred returns the incoming edges of t (Γ−(t)). The slice must not be
 // modified by the caller.
+//
+//caft:zeroalloc
 func (g *DAG) Pred(t TaskID) []Edge { return g.pred[t] }
 
 // InDegree returns |Γ−(t)|.
+//
+//caft:zeroalloc
 func (g *DAG) InDegree(t TaskID) int { return len(g.pred[t]) }
 
 // OutDegree returns |Γ+(t)|.
+//
+//caft:zeroalloc
 func (g *DAG) OutDegree(t TaskID) int { return len(g.succ[t]) }
 
 // Entries returns the entry tasks (no predecessors) in ID order.

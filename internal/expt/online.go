@@ -111,7 +111,7 @@ func runOnlineUnit(rng *rand.Rand, useed int64, mult float64) (onlineUnit, error
 	model := &failure.Exponential{MTBF: failure.UniformMTBF(rng, m, 0.75*mult*T, 1.25*mult*T)}
 
 	runs := [4]struct {
-		eng *online.Engine
+		eng *online.Engine //caft:share-ok local run table; the engines never leave this work unit's goroutine
 		opt online.Options
 	}{
 		{engCA, online.Options{}},

@@ -49,10 +49,14 @@ type Spec struct {
 // the kind does not consume are zeroed. Two specs build the same graph
 // if and only if their Canonical forms are equal, which is what the
 // caftd schedule cache keys on.
+//
+//caft:zeroalloc
 func (sp Spec) Canonical() Spec { return sp.withDefaults() }
 
 // withDefaults implements Canonical; see the per-field comments on Spec
 // for which kind consumes which field.
+//
+//caft:zeroalloc
 func (sp Spec) withDefaults() Spec {
 	c := Spec{Kind: sp.Kind}
 	switch sp.Kind {

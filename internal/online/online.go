@@ -100,6 +100,8 @@ type crashEv struct {
 // Engine replays one schedule against failure traces. A single Engine
 // precomputes the static wiring once and reuses every scratch buffer
 // across Run/Makespan calls; it is not safe for concurrent use.
+//
+//caft:confined
 type Engine struct {
 	s     *sched.Schedule
 	p     *sched.Problem
@@ -318,11 +320,16 @@ func NewEngine(s *sched.Schedule) (*Engine, error) {
 	return e, nil
 }
 
+//caft:zeroalloc
 func (e *Engine) computeID(proc int) int { return proc }
+//caft:zeroalloc
 func (e *Engine) sendID(proc int) int    { return e.m + proc }
+//caft:zeroalloc
 func (e *Engine) recvID(proc int) int    { return 2*e.m + proc }
+//caft:zeroalloc
 func (e *Engine) linkID(l int) int       { return 3*e.m + l }
 
+//caft:zeroalloc
 func (e *Engine) lookup(t dag.TaskID, copy int) int32 {
 	if copy < 0 || copy >= len(e.repOf[t]) {
 		return noOp
@@ -332,6 +339,8 @@ func (e *Engine) lookup(t dag.TaskID, copy int) int32 {
 
 // reset restores every dynamic table to the static prefix and loads the
 // failure trace. It allocates nothing once the scratch has warmed up.
+//
+//caft:zeroalloc
 func (e *Engine) reset(trace map[int]float64) {
 	e.ops = e.ops[:e.n0]
 	e.resIDs = e.resIDs[:e.nResIDs0]
@@ -400,6 +409,8 @@ func (e *Engine) reset(trace map[int]float64) {
 
 // exec runs the event loop: completions in time order, interleaved with
 // the failure trace.
+//
+//caft:zeroalloc
 func (e *Engine) exec() error {
 	for r := 0; r < e.nRes; r++ {
 		e.releaseToken(int32(r), 0)
@@ -417,14 +428,14 @@ func (e *Engine) exec() error {
 		if ci >= len(e.crashes) {
 			break
 		}
-		if err := e.crash(e.crashes[ci].proc, tau); err != nil {
+		if err := e.crash(e.crashes[ci].proc, tau); err != nil { //caft:alloc-ok crash path; only the no-crash steady state is pinned zero-alloc
 			return err
 		}
 		ci++
 	}
 	for i := range e.ops {
 		if st := e.ops[i].state; st == opPending || st == opRunning {
-			return fmt.Errorf("online: event loop stalled with op %d (seq %d) unresolved", i, e.ops[i].seq)
+			return fmt.Errorf("online: event loop stalled with op %d (seq %d) unresolved", i, e.ops[i].seq) //caft:alloc-ok stalled-loop diagnostic; unreachable on a validated schedule
 		}
 	}
 	return nil
@@ -433,6 +444,8 @@ func (e *Engine) exec() error {
 // releaseToken frees resource r at time avail and grants it to the next
 // non-dead member in placement order, resolving that member's chain
 // constraint. With no member left the resource is marked free.
+//
+//caft:zeroalloc
 func (e *Engine) releaseToken(r int32, avail float64) {
 	if avail > e.resAvail[r] {
 		e.resAvail[r] = avail
@@ -452,6 +465,8 @@ func (e *Engine) releaseToken(r int32, avail float64) {
 
 // addMember appends a reactively placed op to resource r's chain; if
 // the token is free it is granted immediately.
+//
+//caft:zeroalloc
 func (e *Engine) addMember(r, i int32) {
 	e.members[r] = append(e.members[r], i)
 	if e.holder[r] == noOp {
@@ -461,6 +476,8 @@ func (e *Engine) addMember(r, i int32) {
 
 // resolve folds one constraint value into op i and starts it when it
 // was the last one outstanding.
+//
+//caft:zeroalloc
 func (e *Engine) resolve(i int32, v float64) {
 	o := &e.ops[i]
 	if o.state != opPending {
@@ -488,6 +505,8 @@ func (e *Engine) resolve(i int32, v float64) {
 // complete finishes op i: releases its resource tokens, marks its task
 // computed (first completion wins) and resolves dependent constraints.
 // Events of lazily cancelled (dead) ops are skipped.
+//
+//caft:zeroalloc
 func (e *Engine) complete(i int32) {
 	o := &e.ops[i]
 	if o.state != opRunning {
@@ -522,6 +541,8 @@ func (e *Engine) complete(i int32) {
 
 // kill marks op i dead if it has not finished, recording it for the
 // crash's cascade and token-release phases.
+//
+//caft:zeroalloc
 func (e *Engine) kill(i int32) {
 	o := &e.ops[i]
 	if o.state != opPending && o.state != opRunning {
@@ -596,6 +617,8 @@ func (e *Engine) crash(q int, tau float64) error {
 
 // push/pop implement the completion-event min-heap, ordered by time
 // with the placement sequence as the deterministic tie break.
+//
+//caft:zeroalloc
 func (e *Engine) push(v ev) {
 	e.heap = append(e.heap, v)
 	i := len(e.heap) - 1
@@ -609,6 +632,7 @@ func (e *Engine) push(v ev) {
 	}
 }
 
+//caft:zeroalloc
 func (e *Engine) pop() ev {
 	top := e.heap[0]
 	n := len(e.heap) - 1
@@ -633,6 +657,7 @@ func (e *Engine) pop() ev {
 	return top
 }
 
+//caft:zeroalloc
 func evLess(a, b ev) bool {
 	if a.t != b.t {
 		return a.t < b.t

@@ -97,14 +97,16 @@ func (r *Result) Latency() (float64, error) {
 // With rescheduling enabled the whole run executes inside one
 // speculation scope on the rebuilt state, so cancellations and reactive
 // placements roll back and the engine is pristine for the next replay.
+//
+//caft:zeroalloc
 func (e *Engine) replay(trace map[int]float64, opt Options) error {
 	if opt.ExecScale != nil {
 		if len(opt.ExecScale) != e.g.NumTasks() {
-			return fmt.Errorf("online: ExecScale has %d entries, want one per task (%d)", len(opt.ExecScale), e.g.NumTasks())
+			return fmt.Errorf("online: ExecScale has %d entries, want one per task (%d)", len(opt.ExecScale), e.g.NumTasks()) //caft:alloc-ok option-validation rejection path; the accept path allocates nothing
 		}
 		for t, f := range opt.ExecScale {
 			if f < 0 || math.IsNaN(f) {
-				return fmt.Errorf("online: ExecScale[%d] = %v, want non-negative", t, f)
+				return fmt.Errorf("online: ExecScale[%d] = %v, want non-negative", t, f) //caft:alloc-ok option-validation rejection path; the accept path allocates nothing
 			}
 		}
 	}
@@ -164,6 +166,8 @@ func (e *Engine) Run(trace map[int]float64, opt Options) (*Result, error) {
 // Result — the Monte-Carlo entry point; a steady-state no-crash call
 // allocates nothing. A task that never completes reports an error
 // satisfying errors.Is(err, sim.ErrTaskLost).
+//
+//caft:zeroalloc
 func (e *Engine) Makespan(trace map[int]float64, opt Options) (float64, int, error) {
 	if err := e.replay(trace, opt); err != nil {
 		return 0, 0, err
@@ -171,7 +175,7 @@ func (e *Engine) Makespan(trace map[int]float64, opt Options) (float64, int, err
 	lat := 0.0
 	for t := range e.taskDone {
 		if !e.taskDone[t] {
-			return math.Inf(1), e.rescheduled, fmt.Errorf("online: task %d lost (no surviving replica): %w", t, sim.ErrTaskLost)
+			return math.Inf(1), e.rescheduled, fmt.Errorf("online: task %d lost (no surviving replica): %w", t, sim.ErrTaskLost) //caft:alloc-ok task-lost rejection path; the success path allocates nothing
 		}
 		if e.taskFinish[t] > lat {
 			lat = e.taskFinish[t]

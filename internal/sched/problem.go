@@ -35,6 +35,7 @@ const (
 	MacroDataflow
 )
 
+//caft:zeroalloc
 func (m Model) String() string {
 	switch m {
 	case OnePort:
@@ -42,7 +43,7 @@ func (m Model) String() string {
 	case MacroDataflow:
 		return "macro-dataflow"
 	default:
-		return fmt.Sprintf("Model(%d)", int(m))
+		return fmt.Sprintf("Model(%d)", int(m)) //caft:alloc-ok out-of-range debug rendering; unreachable for the defined models
 	}
 }
 

@@ -93,6 +93,8 @@ func Register(d Descriptor) {
 // Lookup returns the descriptor registered under name. It allocates
 // nothing: it sits on the service's request-validation and cache-hash
 // fast paths.
+//
+//caft:zeroalloc
 func Lookup(name string) (Descriptor, bool) {
 	regMu.RLock()
 	defer regMu.RUnlock()

@@ -27,6 +27,8 @@ import (
 // The pre-journal reference path, which deep-clones the state for every
 // probe, is kept behind Problem.Probe = CloneProbe for equivalence
 // testing; both paths produce bit-identical schedules.
+//
+//caft:confined
 type State struct {
 	P     *Problem
 	net   Network
@@ -116,9 +118,13 @@ func NewState(p *Problem) *State {
 	}
 }
 
+//caft:zeroalloc
 func (st *State) computeID(proc int) int { return proc }
+//caft:zeroalloc
 func (st *State) sendID(proc int) int    { return st.m + proc }
+//caft:zeroalloc
 func (st *State) recvID(proc int) int    { return 2*st.m + proc }
+//caft:zeroalloc
 func (st *State) linkID(l int) int       { return 3*st.m + l }
 
 // Clone deep-copies the state. Scratch buffers and the speculation
@@ -144,10 +150,12 @@ func (st *State) Clone() *State {
 // overlayForProbe returns the reusable Append-policy probe overlay: a
 // state sharing this one's timelines and records read-only, with
 // earliest/reserve redirected to a private copy of the ready times.
+//
+//caft:zeroalloc
 func (st *State) overlayForProbe() *State {
 	ps := st.probeScratch
 	if ps == nil {
-		ps = &State{overlay: true, noRecord: true, ready: make([]float64, len(st.tls))}
+		ps = &State{overlay: true, noRecord: true, ready: make([]float64, len(st.tls))} //caft:alloc-ok probe overlay built once per State and reused across probes
 		st.probeScratch = ps
 	}
 	ps.P, ps.net, ps.clique, ps.m, ps.tls, ps.Reps, ps.seq = st.P, st.net, st.clique, st.m, st.tls, st.Reps, st.seq
@@ -163,6 +171,8 @@ func (st *State) overlayForProbe() *State {
 }
 
 // begin opens a speculation scope and returns its rollback mark.
+//
+//caft:zeroalloc
 func (st *State) begin() probeMark {
 	st.spec++
 	return probeMark{tlog: len(st.tlog), rlog: len(st.rlog), comms: len(st.Comms), seq: st.seq}
@@ -171,6 +181,8 @@ func (st *State) begin() probeMark {
 // rollback undoes everything journaled since mark: timeline mutations
 // in reverse order (restoring each timeline's ready time), replica
 // record mutations, communication records and the sequence counter.
+//
+//caft:zeroalloc
 func (st *State) rollback(m probeMark) {
 	for i := len(st.tlog) - 1; i >= m.tlog; i-- {
 		u := st.tlog[i]
@@ -207,18 +219,22 @@ func (st *State) rollback(m probeMark) {
 // whether fn succeeds or fails. fn's error is returned verbatim.
 // Speculations nest. It must not be called on probe-overlay states
 // (which external callers never observe).
+//
+//caft:zeroalloc
 func (st *State) Speculate(fn func() error) error {
 	if st.overlay {
 		panic("sched: Speculate on a probe overlay")
 	}
 	m := st.begin()
-	err := fn()
+	err := fn() //caft:alloc-ok fn is the speculated body; its own allocations are accounted at their sites
 	st.rollback(m)
 	return err
 }
 
 // earliest returns the earliest start >= ready for a reservation of dur
 // on timeline id, respecting the rescheduling floor.
+//
+//caft:zeroalloc
 func (st *State) earliest(id int, ready, dur float64) float64 {
 	if ready < st.floor {
 		ready = st.floor
@@ -234,6 +250,8 @@ func (st *State) earliest(id int, ready, dur float64) float64 {
 
 // reserve books [start, start+dur) on timeline id, journaling the
 // reservation when a speculation scope is open.
+//
+//caft:zeroalloc
 func (st *State) reserve(id int, start, dur float64, owner int32) {
 	if st.overlay {
 		if end := start + dur; end > st.ready[id] {
@@ -269,9 +287,11 @@ func (st *State) Snapshot() *Schedule {
 // use ProcsOfCopy.
 //
 //caft:scratch safe=ProcsOfCopy
+//
+//caft:zeroalloc
 func (st *State) ProcsOf(t dag.TaskID) []bool {
 	if st.hosting == nil {
-		st.hosting = make([]bool, st.m)
+		st.hosting = make([]bool, st.m) //caft:alloc-ok hosting bitset allocated lazily on the first call, then reused
 	}
 	for i := range st.hosting {
 		st.hosting[i] = false
@@ -324,6 +344,8 @@ func (st *State) FullSources(t dag.TaskID) []SourceSet {
 // state's reservation policy. The fixpoint loop terminates because each
 // round either leaves the candidate unchanged (success) or strictly
 // increases it past a busy interval.
+//
+//caft:zeroalloc
 func (st *State) commonSlot(ready, dur float64, ids []int) float64 {
 	s := ready
 	for {
@@ -342,12 +364,14 @@ func (st *State) commonSlot(ready, dur float64, ids []int) float64 {
 // The returned slice is scratch reused by the next call.
 //
 //caft:scratch
+//
+//caft:zeroalloc
 func (st *State) commResources(src, dst int) []int {
 	ids := append(st.commIDs[:0], st.sendID(src), st.recvID(dst))
 	if st.clique {
 		ids = append(ids, st.linkID(src*st.m+dst))
 	} else {
-		for _, l := range st.net.Route(src, dst) {
+		for _, l := range st.net.Route(src, dst) { //caft:alloc-ok topology interface call; in-tree networks return a cached route
 			ids = append(ids, st.linkID(l))
 		}
 	}
@@ -359,11 +383,13 @@ func (st *State) commResources(src, dst int) []int {
 // units from src (data ready at readyAt) to dst, without reserving
 // anything. Under the macro-dataflow model there is no contention and
 // the transfer starts exactly at readyAt.
+//
+//caft:zeroalloc
 func (st *State) ProbeComm(src, dst int, readyAt, volume float64) (start, finish float64) {
 	if src == dst {
 		return readyAt, readyAt
 	}
-	dur := st.net.Dur(src, dst, volume)
+	dur := st.net.Dur(src, dst, volume) //caft:alloc-ok cost-model interface call; in-tree models are pure arithmetic
 	if st.P.Model == MacroDataflow {
 		return readyAt, readyAt + dur
 	}
@@ -374,6 +400,8 @@ func (st *State) ProbeComm(src, dst int, readyAt, volume float64) (start, finish
 // placeComm reserves the transfer and records it (recording is skipped
 // on probe-overlay and clone-probe states). The caller passes the source
 // replica and destination task/copy for bookkeeping.
+//
+//caft:zeroalloc
 func (st *State) placeComm(srcRep Replica, to dag.TaskID, dstCopy, dst int, volume float64) Comm {
 	st.seq++
 	c := Comm{
@@ -388,10 +416,10 @@ func (st *State) placeComm(srcRep Replica, to dag.TaskID, dstCopy, dst int, volu
 		c.Intra = true
 		c.Start, c.Finish = srcRep.Finish, srcRep.Finish
 	case st.P.Model == MacroDataflow:
-		c.Dur = st.net.Dur(srcRep.Proc, dst, volume)
+		c.Dur = st.net.Dur(srcRep.Proc, dst, volume) //caft:alloc-ok cost-model interface call; in-tree models are pure arithmetic
 		c.Start, c.Finish = srcRep.Finish, srcRep.Finish+c.Dur
 	default:
-		c.Dur = st.net.Dur(srcRep.Proc, dst, volume)
+		c.Dur = st.net.Dur(srcRep.Proc, dst, volume) //caft:alloc-ok cost-model interface call; in-tree models are pure arithmetic
 		ids := st.commResources(srcRep.Proc, dst)
 		c.Start = st.commonSlot(srcRep.Finish, c.Dur, ids)
 		c.Finish = c.Start + c.Dur
@@ -427,13 +455,15 @@ type pendingComm struct {
 //
 // The replica's start time is the earliest slot on the processor's
 // compute timeline at or after all inputs are available (eq. (5)).
+//
+//caft:zeroalloc
 func (st *State) PlaceReplica(t dag.TaskID, copy, proc int, sources []SourceSet) (Replica, error) {
 	if len(sources) != st.P.G.InDegree(t) {
-		return Replica{}, fmt.Errorf("sched: task %d needs %d source sets, got %d", t, st.P.G.InDegree(t), len(sources))
+		return Replica{}, fmt.Errorf("sched: task %d needs %d source sets, got %d", t, st.P.G.InDegree(t), len(sources)) //caft:alloc-ok rejection path; the accept path allocates nothing
 	}
 	for _, r := range st.Reps[t] {
 		if r.Proc == proc {
-			return Replica{}, fmt.Errorf("sched: task %d already has a replica on P%d", t, proc)
+			return Replica{}, fmt.Errorf("sched: task %d already has a replica on P%d", t, proc) //caft:alloc-ok rejection path; the accept path allocates nothing
 		}
 	}
 	pending := st.pending[:0]
@@ -445,7 +475,7 @@ func (st *State) PlaceReplica(t dag.TaskID, copy, proc int, sources []SourceSet)
 	for i, set := range sources {
 		if len(set.Sources) == 0 {
 			st.pending, st.arrival = pending, arrival
-			return Replica{}, fmt.Errorf("sched: empty source set for predecessor %d of task %d", set.Pred, t)
+			return Replica{}, fmt.Errorf("sched: empty source set for predecessor %d of task %d", set.Pred, t) //caft:alloc-ok rejection path; the accept path allocates nothing
 		}
 		// Co-located source? Use the earliest-finishing one, free.
 		intra := -1
@@ -489,7 +519,7 @@ func (st *State) PlaceReplica(t dag.TaskID, copy, proc int, sources []SourceSet)
 	for i := range sources {
 		if math.IsInf(arrival[i], 1) {
 			st.arrival = arrival
-			return Replica{}, fmt.Errorf("sched: no input arrived for predecessor %d of task %d", sources[i].Pred, t)
+			return Replica{}, fmt.Errorf("sched: no input arrived for predecessor %d of task %d", sources[i].Pred, t) //caft:alloc-ok rejection path; the accept path allocates nothing
 		}
 		if arrival[i] > ready {
 			ready = arrival[i]
@@ -516,9 +546,11 @@ func (st *State) PlaceReplica(t dag.TaskID, copy, proc int, sources []SourceSet)
 // and is rolled back (with the Append-policy ready-time overlay as the
 // cheap special case); under CloneProbe it runs on a deep clone — the
 // reference implementation the speculative path is tested against.
+//
+//caft:zeroalloc
 func (st *State) ProbeReplica(t dag.TaskID, copy, proc int, sources []SourceSet) (Replica, error) {
 	if st.P.Probe == CloneProbe && !st.overlay {
-		c := st.Clone()
+		c := st.Clone() //caft:alloc-ok CloneProbe reference path, kept for equivalence testing; the journaled probe allocates nothing
 		c.noRecord = true
 		return c.PlaceReplica(t, copy, proc, sources)
 	}

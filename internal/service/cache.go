@@ -28,6 +28,8 @@ func newCache(max int) *cache {
 
 // lookup returns the entry for key, creating it when absent. created
 // reports whether the caller owns the compute for this entry.
+//
+//caft:zeroalloc
 func (c *cache) lookup(key hashKey) (e *entry, created bool) {
 	c.mu.RLock()
 	e = c.m[key]
@@ -43,7 +45,7 @@ func (c *cache) lookup(key hashKey) (e *entry, created bool) {
 	if c.max > 0 && len(c.m) >= c.max {
 		c.evictLocked()
 	}
-	e = &entry{done: make(chan struct{})}
+	e = &entry{done: make(chan struct{})} //caft:alloc-ok cache-miss entry; the hit path allocates nothing
 	c.m[key] = e
 	return e, true
 }
@@ -52,6 +54,8 @@ func (c *cache) lookup(key hashKey) (e *entry, created bool) {
 // effectively random). In-flight entries are never evicted, so their
 // waiters always resolve; if every entry is in flight the cache
 // temporarily exceeds max rather than blocking.
+//
+//caft:zeroalloc
 func (c *cache) evictLocked() {
 	for k, e := range c.m { //caft:unordered-ok eviction victim is deliberately arbitrary
 		select {
@@ -66,6 +70,8 @@ func (c *cache) evictLocked() {
 // remove drops the entry for key if it is still the one stored —
 // abandoning creators use it so a never-computed entry does not pin the
 // key forever.
+//
+//caft:zeroalloc
 func (c *cache) remove(key hashKey, e *entry) {
 	c.mu.Lock()
 	if c.m[key] == e {
@@ -74,6 +80,7 @@ func (c *cache) remove(key hashKey, e *entry) {
 	c.mu.Unlock()
 }
 
+//caft:zeroalloc
 func (c *cache) len() int {
 	c.mu.RLock()
 	defer c.mu.RUnlock()

@@ -122,6 +122,8 @@ type OnlineResult struct {
 // The library's scheduling state and replayers are rebuilt per problem
 // (they are functions of the schedule), but the buffer — the service
 // layer's own allocation — amortizes across requests.
+//
+//caft:confined
 type scratch struct {
 	buf bytes.Buffer
 }

@@ -89,10 +89,12 @@ func (s *Service) Close() {
 // The cache-hit path — hash, lookup, receive from a closed channel,
 // stats — performs no scheduling work and allocates nothing;
 // BenchmarkServeCached pins this.
+//
+//caft:zeroalloc
 func (s *Service) Do(ctx context.Context, req *Request) ([]byte, error) {
-	if err := req.validate(); err != nil {
+	if err := req.validate(); err != nil { //caft:alloc-ok validate allocates only when it rejects; valid requests pass through clean
 		s.st.badRequests.Add(1)
-		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err) //caft:alloc-ok bad-request rejection path; the serving path allocates nothing
 	}
 	start := time.Now() //caft:nondet-ok latency metric only; never enters a response body
 	s.st.inflight.Add(1)
@@ -107,18 +109,18 @@ func (s *Service) Do(ctx context.Context, req *Request) ([]byte, error) {
 			// of scheduling runs performed, and an abandoned entry never
 			// reaches a worker.
 			s.st.misses.Add(1)
-		case <-ctx.Done():
-			return nil, s.abandon(key, e, ctx.Err())
+		case <-ctx.Done(): //caft:alloc-ok cancellation arm of the miss handoff; the hit path skips this select
+			return nil, s.abandon(key, e, ctx.Err()) //caft:alloc-ok cancellation path on a cache miss, off the pinned hit path
 		case <-s.closing:
-			return nil, s.abandon(key, e, ErrClosed)
+			return nil, s.abandon(key, e, ErrClosed) //caft:alloc-ok shutdown path, off the pinned hit path
 		}
 	} else {
 		s.st.hits.Add(1)
 	}
 	select {
 	case <-e.done:
-	case <-ctx.Done():
-		return nil, ctx.Err()
+	case <-ctx.Done(): //caft:alloc-ok context poll; Done returns the context's cached channel
+		return nil, ctx.Err() //caft:alloc-ok cancellation path; Err returns the context's cached error
 	}
 	s.st.record(time.Since(start)) //caft:nondet-ok latency metric only; never enters a response body
 	if e.err != nil {

@@ -211,6 +211,8 @@ func (os *OnlineSpec) validate() error {
 
 // kindIndex returns the canonical failure-model enum (default
 // resolved); -1 for unknown kinds (rejected by validate).
+//
+//caft:zeroalloc
 func (os *OnlineSpec) kindIndex() int {
 	switch os.Kind {
 	case "", "exponential":
@@ -234,6 +236,7 @@ const maxOnlineSamples = 1 << 16
 // hashed into cache keys.
 var modeNames = [...]string{"schedule", "online"}
 
+//caft:zeroalloc
 func (r *Request) modeIndex() int {
 	if r.Mode == "" {
 		return 0
@@ -261,6 +264,8 @@ const (
 // algID returns the scheduler's registry ID — the canonical enum hashed
 // into cache keys (sched.Descriptor.ID, append-only) — or -1 for
 // unregistered names (rejected by validate).
+//
+//caft:zeroalloc
 func (r *Request) algID() int {
 	if d, ok := sched.Lookup(r.Alg); ok {
 		return d.ID
@@ -268,6 +273,7 @@ func (r *Request) algID() int {
 	return -1
 }
 
+//caft:zeroalloc
 func (r *Request) policy() (timeline.Policy, bool) {
 	switch r.Policy {
 	case "", timeline.Append.String():
@@ -278,6 +284,7 @@ func (r *Request) policy() (timeline.Policy, bool) {
 	return 0, false
 }
 
+//caft:zeroalloc
 func (r *Request) model() (sched.Model, bool) {
 	switch r.Model {
 	case "", sched.OnePort.String():
@@ -290,6 +297,7 @@ func (r *Request) model() (sched.Model, bool) {
 
 var topoShapes = [...]string{"ring", "star", "mesh", "torus", "hypercube", "random"}
 
+//caft:zeroalloc
 func (t *TopologySpec) shapeIndex() int {
 	for i, n := range topoShapes {
 		if n == t.Shape {
@@ -300,6 +308,8 @@ func (t *TopologySpec) shapeIndex() int {
 }
 
 // delay returns the fixed-shape link delay with its default resolved.
+//
+//caft:zeroalloc
 func (t *TopologySpec) delay() float64 {
 	if t.Delay == 0 {
 		return 1
@@ -310,6 +320,8 @@ func (t *TopologySpec) delay() float64 {
 // canonical returns the spec with defaults resolved and the fields its
 // shape does not consume zeroed — mirroring gen.Spec.Canonical, so
 // junk in unused fields cannot split the cache.
+//
+//caft:zeroalloc
 func (t *TopologySpec) canonical() TopologySpec {
 	c := TopologySpec{Shape: t.Shape}
 	switch t.Shape {
@@ -326,6 +338,8 @@ func (t *TopologySpec) canonical() TopologySpec {
 }
 
 // granularity returns the target granularity with its default resolved.
+//
+//caft:zeroalloc
 func (r *Request) granularity() float64 {
 	if r.Granularity == 0 {
 		return 1
@@ -575,6 +589,8 @@ func (rs *ReliabilitySpec) buildModel(m int) failure.Model {
 // defaults, junk in fields their kind ignores — share a key, and any
 // semantic difference changes it. The hash allocates nothing: it is
 // part of the cache-hit fast path.
+//
+//caft:zeroalloc
 func (r *Request) hash() hashKey {
 	h := newDigest()
 	// v2: adds the serving mode and the online Monte-Carlo spec to the
@@ -684,6 +700,8 @@ func (r *Request) hash() hashKey {
 
 // kindIndex returns the canonical failure-model enum (default
 // resolved); -1 for unknown kinds (rejected by validate).
+//
+//caft:zeroalloc
 func (rs *ReliabilitySpec) kindIndex() int {
 	switch rs.Kind {
 	case "", "exponential":
@@ -717,23 +735,30 @@ const (
 	altPrime64  = 0x9e3779b97f4a7c15
 )
 
+//caft:zeroalloc
 func newDigest() digest { return digest{a: fnvOffset64, b: altOffset64} }
 
+//caft:zeroalloc
 func (d *digest) byte(c byte) {
 	d.a = (d.a ^ uint64(c)) * fnvPrime64
 	d.b = (d.b ^ uint64(c)) * altPrime64
 }
 
+//caft:zeroalloc
 func (d *digest) u64(v uint64) {
 	for i := 0; i < 64; i += 8 {
 		d.byte(byte(v >> i))
 	}
 }
 
+//caft:zeroalloc
 func (d *digest) int(v int)     { d.u64(uint64(int64(v))) }
+//caft:zeroalloc
 func (d *digest) i64(v int64)   { d.u64(uint64(v)) }
+//caft:zeroalloc
 func (d *digest) f64(v float64) { d.u64(math.Float64bits(v)) }
 
+//caft:zeroalloc
 func (d *digest) str(s string) {
 	d.u64(uint64(len(s)))
 	for i := 0; i < len(s); i++ {
@@ -741,4 +766,5 @@ func (d *digest) str(s string) {
 	}
 }
 
+//caft:zeroalloc
 func (d *digest) sum() hashKey { return hashKey(*d) }

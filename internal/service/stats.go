@@ -26,6 +26,7 @@ type stats struct {
 	n   int                // total recorded
 }
 
+//caft:zeroalloc
 func (st *stats) record(d time.Duration) {
 	sec := d.Seconds()
 	st.mu.Lock()

@@ -20,6 +20,8 @@ import (
 //
 // A Replayer is not safe for concurrent use; each goroutine replaying
 // the same schedule needs its own (see NewReplayer).
+//
+//caft:confined
 type Replayer struct {
 	s     *sched.Schedule
 	order []dag.TaskID // topological task order
@@ -175,6 +177,7 @@ func NewReplayer(s *sched.Schedule) (*Replayer, error) {
 	return r, nil
 }
 
+//caft:zeroalloc
 func (r *Replayer) lookup(t dag.TaskID, copy int) int32 {
 	if copy < 0 || copy >= len(r.repOf[t]) {
 		return noOp
@@ -182,8 +185,9 @@ func (r *Replayer) lookup(t dag.TaskID, copy int) int32 {
 	return r.repOf[t][copy]
 }
 
+//caft:zeroalloc
 func (r *Replayer) sortBySeq(seq []int32) {
-	sort.Slice(seq, func(a, b int) bool {
+	sort.Slice(seq, func(a, b int) bool { //caft:alloc-ok sort.Slice's swapper is one constant-size frame, within the alloc-pin budget
 		sa, sb := r.ops[seq[a]].seq, r.ops[seq[b]].seq
 		if sa != sb {
 			return sa < sb
@@ -193,6 +197,8 @@ func (r *Replayer) sortBySeq(seq []int32) {
 }
 
 // setCrashed loads the crash set into the scratch bitmap.
+//
+//caft:zeroalloc
 func (r *Replayer) setCrashed(crashed map[int]bool) {
 	for i := range r.crashed {
 		r.crashed[i] = false
@@ -207,6 +213,8 @@ func (r *Replayer) setCrashed(crashed map[int]bool) {
 // run executes one liveness+timing pass against the current crash
 // bitmap. dead (indexed like r.ops) forces additional operations dead,
 // used by the timed-crash fixpoint of ReplayTimed; it may be nil.
+//
+//caft:zeroalloc
 func (r *Replayer) run(sem Semantics, dead []bool) error {
 	s, g := r.s, r.s.P.G
 	ops := r.ops
@@ -274,7 +282,7 @@ func (r *Replayer) run(sem Semantics, dead []bool) error {
 	for {
 		sweeps++
 		if sweeps > len(ops)+5 {
-			return fmt.Errorf("sim: timing fixpoint did not converge after %d sweeps", sweeps)
+			return fmt.Errorf("sim: timing fixpoint did not converge after %d sweeps", sweeps) //caft:alloc-ok non-convergence diagnostic; unreachable on a well-formed schedule
 		}
 		changed := false
 		for _, i := range r.sweepO {
@@ -366,15 +374,19 @@ func (r *Replayer) materialize() *Result {
 
 // Replay recomputes the schedule's execution under the given options,
 // like the package-level Replay but reusing this Replayer's tables.
+//
+//caft:zeroalloc
 func (r *Replayer) Replay(opt Options) (*Result, error) {
 	r.setCrashed(opt.Crashed)
 	if err := r.run(opt.Sem, nil); err != nil {
 		return nil, err
 	}
-	return r.materialize(), nil
+	return r.materialize(), nil //caft:alloc-ok the Result is the caller's one deliberate allocation
 }
 
 // latency computes Result.Latency directly from the scratch tables.
+//
+//caft:zeroalloc
 func (r *Replayer) latency() (float64, error) {
 	lat := 0.0
 	for t := range r.s.Reps {
@@ -385,7 +397,7 @@ func (r *Replayer) latency() (float64, error) {
 			}
 		}
 		if math.IsInf(min, 1) {
-			return min, fmt.Errorf("sim: task %d lost (no surviving replica): %w", t, ErrTaskLost)
+			return min, fmt.Errorf("sim: task %d lost (no surviving replica): %w", t, ErrTaskLost) //caft:alloc-ok task-lost rejection path; the success path allocates nothing
 		}
 		if min > lat {
 			lat = min
@@ -398,6 +410,8 @@ func (r *Replayer) latency() (float64, error) {
 // first-arrival semantics and returns the achieved latency without
 // allocating a Result. A lost task reports an error satisfying
 // errors.Is(err, ErrTaskLost).
+//
+//caft:zeroalloc
 func (r *Replayer) CrashLatency(crashed map[int]bool) (float64, error) {
 	r.setCrashed(crashed)
 	if err := r.run(FirstArrival, nil); err != nil {
@@ -408,12 +422,16 @@ func (r *Replayer) CrashLatency(crashed map[int]bool) (float64, error) {
 
 // LowerBound replays with no crashes under first-arrival semantics: the
 // latency achieved if no processor fails.
+//
+//caft:zeroalloc
 func (r *Replayer) LowerBound() (float64, error) {
 	return r.CrashLatency(nil)
 }
 
 // UpperBound replays with no crashes under last-arrival semantics and
 // returns the completion time of the last replica of any task.
+//
+//caft:zeroalloc
 func (r *Replayer) UpperBound() (float64, error) {
 	r.setCrashed(nil)
 	if err := r.run(LastArrival, nil); err != nil {

@@ -11,6 +11,8 @@ import (
 // Replayer's scratch buffers: per-op deadlines are loaded once from
 // crashTimes, then liveness+timing passes run until no surviving
 // operation violates its deadline. It allocates nothing.
+//
+//caft:zeroalloc
 func (r *Replayer) runTimed(crashTimes map[int]float64, sem Semantics) error {
 	for i := range r.crashed {
 		r.crashed[i] = false
@@ -51,7 +53,7 @@ func (r *Replayer) runTimed(crashTimes map[int]float64, sem Semantics) error {
 			return nil
 		}
 	}
-	return fmt.Errorf("sim: timed-crash fixpoint did not converge")
+	return fmt.Errorf("sim: timed-crash fixpoint did not converge") //caft:alloc-ok non-convergence diagnostic; unreachable on a well-formed schedule
 }
 
 // ReplayTimed replays the schedule under timed fail-stop failures,
@@ -71,11 +73,13 @@ func (r *Replayer) runTimed(crashTimes map[int]float64, sem Semantics) error {
 // operation violates a crash instant. The result is the least such dead
 // set under the optimistic ordering, matching an execution in which the
 // system never waits for work that will never arrive.
+//
+//caft:zeroalloc
 func (r *Replayer) ReplayTimed(crashTimes map[int]float64, sem Semantics) (*Result, error) {
 	if err := r.runTimed(crashTimes, sem); err != nil {
 		return nil, err
 	}
-	return r.materialize(), nil
+	return r.materialize(), nil //caft:alloc-ok the Result is the caller's one deliberate allocation
 }
 
 // CrashLatencyAt replays timed crashes under first-arrival semantics
@@ -83,6 +87,8 @@ func (r *Replayer) ReplayTimed(crashTimes map[int]float64, sem Semantics) (*Resu
 // the Monte-Carlo entry point of the reliability experiments; a
 // steady-state call allocates nothing. A lost task reports an error
 // satisfying errors.Is(err, ErrTaskLost).
+//
+//caft:zeroalloc
 func (r *Replayer) CrashLatencyAt(crashTimes map[int]float64) (float64, error) {
 	if err := r.runTimed(crashTimes, FirstArrival); err != nil {
 		return 0, err

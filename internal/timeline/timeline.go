@@ -45,6 +45,7 @@ const (
 	Insertion
 )
 
+//caft:zeroalloc
 func (p Policy) String() string {
 	switch p {
 	case Append:
@@ -52,7 +53,7 @@ func (p Policy) String() string {
 	case Insertion:
 		return "insertion"
 	default:
-		return fmt.Sprintf("Policy(%d)", int(p))
+		return fmt.Sprintf("Policy(%d)", int(p)) //caft:alloc-ok out-of-range debug rendering; unreachable for the defined policies
 	}
 }
 
@@ -73,6 +74,8 @@ type gap struct {
 }
 
 // Timeline is a sorted set of non-overlapping busy intervals.
+//
+//caft:confined
 type Timeline struct {
 	ivs    []Interval
 	maxEnd float64
@@ -101,6 +104,8 @@ func (tl *Timeline) IntervalsCopy() []Interval { return append([]Interval(nil), 
 // Ready returns the latest reservation end (0 when empty): the
 // resource's ready time under the Append policy, i.e. the paper's
 // R(l) / SF(P) / RF(P).
+//
+//caft:zeroalloc
 func (tl *Timeline) Ready() float64 {
 	return tl.maxEnd
 }
@@ -108,6 +113,8 @@ func (tl *Timeline) Ready() float64 {
 // EarliestSlot returns the earliest start >= ready at which a
 // reservation of length dur fits under the given policy. dur may be
 // zero, in which case ready is feasible anywhere.
+//
+//caft:zeroalloc
 func (tl *Timeline) EarliestSlot(ready, dur float64, pol Policy) float64 {
 	if dur < 0 {
 		panic("timeline: negative duration")
@@ -147,9 +154,11 @@ func (tl *Timeline) EarliestSlot(ready, dur float64, pol Policy) float64 {
 // markers. The symmetry matters for rebuilding a timeline from its
 // interval list (sched.StateOf): re-adding intervals in start order
 // must accept exactly the states the incremental path can reach.
+//
+//caft:zeroalloc
 func (tl *Timeline) Add(start, dur float64, owner int32) error {
 	if dur < 0 {
-		return fmt.Errorf("timeline: negative duration %v", dur)
+		return fmt.Errorf("timeline: negative duration %v", dur) //caft:alloc-ok rejection path; the accept path allocates nothing
 	}
 	end := start + dur
 	i := sort.Search(len(tl.ivs), func(i int) bool { return tl.ivs[i].Start >= start })
@@ -162,13 +171,13 @@ func (tl *Timeline) Add(start, dur float64, owner int32) error {
 			continue
 		}
 		if tl.ivs[j].End > start {
-			return fmt.Errorf("timeline: [%v,%v) overlaps [%v,%v)", start, end, tl.ivs[j].Start, tl.ivs[j].End)
+			return fmt.Errorf("timeline: [%v,%v) overlaps [%v,%v)", start, end, tl.ivs[j].Start, tl.ivs[j].End) //caft:alloc-ok rejection path; the accept path allocates nothing
 		}
 		break
 	}
 	for j := i; dur > 0 && j < len(tl.ivs) && tl.ivs[j].Start < end; j++ {
 		if tl.ivs[j].End > tl.ivs[j].Start {
-			return fmt.Errorf("timeline: [%v,%v) overlaps [%v,%v)", start, end, tl.ivs[j].Start, tl.ivs[j].End)
+			return fmt.Errorf("timeline: [%v,%v) overlaps [%v,%v)", start, end, tl.ivs[j].Start, tl.ivs[j].End) //caft:alloc-ok rejection path; the accept path allocates nothing
 		}
 	}
 	tl.ivs = append(tl.ivs, Interval{})
@@ -185,6 +194,8 @@ func (tl *Timeline) Add(start, dur float64, owner int32) error {
 
 // gapsOnAdd carves the positive reservation [start, end) out of the gap
 // index. The reservation is known not to overlap any positive interval.
+//
+//caft:zeroalloc
 func (tl *Timeline) gapsOnAdd(start, end float64) {
 	if start >= tl.posEnd {
 		// Tail region: a new gap opens between the previous last positive
@@ -199,7 +210,7 @@ func (tl *Timeline) gapsOnAdd(start, end float64) {
 	// Interior: the reservation lies inside exactly one gap; split it.
 	i := sort.Search(len(tl.gaps), func(i int) bool { return tl.gaps[i].end > start })
 	if i >= len(tl.gaps) || tl.gaps[i].start > start || tl.gaps[i].end < end {
-		panic(fmt.Sprintf("timeline: gap index lost [%v,%v)", start, end))
+		panic(fmt.Sprintf("timeline: gap index lost [%v,%v)", start, end)) //caft:alloc-ok invariant-violation panic, unreachable on consistent state
 	}
 	g := tl.gaps[i]
 	left, right := gap{g.start, start}, gap{end, g.end}
@@ -219,6 +230,8 @@ func (tl *Timeline) gapsOnAdd(start, end float64) {
 
 // gapsOnRemove re-merges the free space exposed by deleting the positive
 // reservation at index i of the interval list (not yet spliced out).
+//
+//caft:zeroalloc
 func (tl *Timeline) gapsOnRemove(i int) {
 	iv := tl.ivs[i]
 	// Nearest positive neighbors; zero-length markers in between are
@@ -269,6 +282,8 @@ func (tl *Timeline) gapsOnRemove(i int) {
 
 // deleteAt removes the reservation at index i, maintaining the gap
 // index. The caller fixes maxEnd.
+//
+//caft:zeroalloc
 func (tl *Timeline) deleteAt(i int) {
 	if tl.ivs[i].End > tl.ivs[i].Start {
 		tl.gapsOnRemove(i)
@@ -278,6 +293,8 @@ func (tl *Timeline) deleteAt(i int) {
 
 // MustAdd is Add that panics on overlap; used where feasibility was just
 // established with EarliestSlot.
+//
+//caft:zeroalloc
 func (tl *Timeline) MustAdd(start, dur float64, owner int32) {
 	if err := tl.Add(start, dur, owner); err != nil {
 		panic(err)
@@ -310,6 +327,8 @@ func (tl *Timeline) Remove(start float64, owner int32) bool {
 // O(n) ready-time rescan of Remove unnecessary. It panics if no such
 // reservation exists — a rollback journal referencing a missing
 // reservation is state corruption, not a recoverable condition.
+//
+//caft:zeroalloc
 func (tl *Timeline) UndoAdd(start float64, owner int32, prevMax float64) {
 	i := sort.Search(len(tl.ivs), func(i int) bool { return tl.ivs[i].Start >= start })
 	for ; i < len(tl.ivs) && tl.ivs[i].Start == start; i++ {
@@ -319,7 +338,7 @@ func (tl *Timeline) UndoAdd(start float64, owner int32, prevMax float64) {
 			return
 		}
 	}
-	panic(fmt.Sprintf("timeline: UndoAdd of unknown reservation (%v, owner %d)", start, owner))
+	panic(fmt.Sprintf("timeline: UndoAdd of unknown reservation (%v, owner %d)", start, owner)) //caft:alloc-ok invariant-violation panic, unreachable on consistent state
 }
 
 // Clone returns a deep copy.

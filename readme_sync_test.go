@@ -3,9 +3,11 @@ package caft
 import (
 	"fmt"
 	"os"
+	"regexp"
 	"strings"
 	"testing"
 
+	"caft/internal/analysis/passes"
 	"caft/internal/sched"
 )
 
@@ -31,6 +33,36 @@ func TestREADMESchedulerList(t *testing.T) {
 	want := strings.Join(quoted, ", ")
 	if !strings.Contains(string(readme), want) {
 		t.Fatalf("README.md does not contain the registry's scheduler list %s — regenerate the Serving section from sched.Names()", want)
+	}
+}
+
+// README's developer section tabulates caftvet's analyzers. The rows
+// are pinned to passes.All() — the same slice `caftvet -list` prints
+// and both checker modes run — so an analyzer added, renamed, or
+// redocumented without a README row (or a README row surviving its
+// analyzer) fails here instead of shipping stale docs.
+func TestREADMEAnalyzerTable(t *testing.T) {
+	readme, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := passes.All()
+	var rows []string
+	for _, a := range all {
+		rows = append(rows, fmt.Sprintf("| `%s` | %s |", a.Name, a.Doc))
+	}
+	// The rows must appear as one contiguous block in registry order,
+	// so ordering drift is also caught.
+	block := strings.Join(rows, "\n")
+	if !strings.Contains(string(readme), block) {
+		t.Fatalf("README.md's analyzer table does not match caftvet -list; want block:\n%s", block)
+	}
+	// And no extra analyzer-shaped rows may survive a removal: every
+	// table row whose first cell is a backquoted name and whose second
+	// cell starts with "flags " must be one of the pinned rows.
+	got := regexp.MustCompile("(?m)^\\| `[a-z]+` \\| flags .*\\|$").FindAllString(string(readme), -1)
+	if len(got) != len(all) {
+		t.Fatalf("README.md has %d analyzer-table rows, registry has %d:\n%s", len(got), len(all), strings.Join(got, "\n"))
 	}
 }
 
