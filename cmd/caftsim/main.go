@@ -17,10 +17,13 @@
 //	caftsim -figure online                       # static vs reactive vs hybrid fault tolerance (S7)
 //	caftsim -figure jitter [-alg hoft]           # execution-time-jitter predictability harness (S9)
 //
-// The scale study sweeps v up to 3200 tasks and is the heaviest figure
-// by far: run it with a small -graphs value, and use -vmax to cap the
-// sweep. Its wall-clock scheduling times go to stderr; stdout stays a
-// pure function of (-graphs, -seed, -vmax).
+// The scale study sweeps v up to 3200 tasks by default and is the
+// heaviest figure by far: run it with a small -graphs value. Raising
+// -vmax extends the tail through successive doublings to 100000 tasks,
+// where schedulers run with bounded candidate probing and without
+// FTBAR (see internal/expt.ScaleSizes); existing rows never move.
+// Wall-clock scheduling times and allocation counts go to stderr;
+// stdout stays a pure function of (-graphs, -seed, -vmax).
 package main
 
 import (
@@ -45,7 +48,7 @@ func main() {
 		seed    = flag.Int64("seed", 1, "base PRNG seed")
 		plot    = flag.String("plot", "", "also write gnuplot data+script for figure and reliability runs into this directory")
 		workers = flag.Int("workers", 0, "concurrent work units (0 = all cores); output is identical for any value")
-		vmax    = flag.Int("vmax", 3200, "scale figure: largest task count of the sweep")
+		vmax    = flag.Int("vmax", 3200, "scale figure: largest task count of the sweep (up to 100000)")
 		alg     = flag.String("alg", "", "jitter figure: restrict to one registered scheduler (default all)")
 	)
 	flag.Parse()

@@ -158,8 +158,12 @@ func ScheduleOpts(p *sched.Problem, eps int, rng *rand.Rand, opts Options) (*sch
 		eps:      eps,
 		opts:     opts,
 		m:        p.Plat.M,
+		allProcs: make([]int, p.Plat.M),
 		supports: map[repKey]procSet{},
 		stats:    &Stats{},
+	}
+	for i := range c.allProcs {
+		c.allProcs[i] = i
 	}
 	l := sched.NewLister(p, rng)
 	for {
@@ -189,6 +193,7 @@ type scheduler struct {
 	eps      int
 	opts     Options
 	m        int
+	allProcs []int // 0..m-1, the unbounded fallback candidate list
 	supports map[repKey]procSet
 	stats    *Stats
 }
@@ -328,10 +333,11 @@ type o2oPlan struct {
 // when no candidate is eligible.
 func (c *scheduler) bestOneToOne(t dag.TaskID, copyIdx int, preds []dag.Edge, pools [][]sched.Replica, locked procSet) (*o2oPlan, error) {
 	st := c.st
+	cands := st.Candidates(t, c.eps+1)
 	hosting := st.ProcsOf(t)
 	remaining := c.eps - copyIdx // replicas still to place after this one
 	var best *o2oPlan
-	for proc := 0; proc < c.m; proc++ {
+	for _, proc := range cands {
 		if locked.has(proc) || hosting[proc] {
 			continue
 		}
@@ -528,9 +534,9 @@ func (c *scheduler) bestFull(t dag.TaskID, copyIdx int, locked procSet) (*fullPl
 		}
 		return out, supp
 	}
-	run := func(skipLocked bool) (*fullPlan, error) {
+	run := func(procs []int, skipLocked bool) (*fullPlan, error) {
 		var best *fullPlan
-		for proc := 0; proc < c.m; proc++ {
+		for _, proc := range procs {
 			if hosting[proc] || (skipLocked && locked.has(proc)) {
 				continue
 			}
@@ -545,12 +551,23 @@ func (c *scheduler) bestFull(t dag.TaskID, copyIdx int, locked procSet) (*fullPl
 		}
 		return best, nil
 	}
-	best, err := run(true)
+	// Bounded probing first; when it yields nothing, widen to the full
+	// processor set before relaxing the lock constraint — bounding must
+	// never turn a feasible round infeasible. With ProbeWidth = 0 the
+	// candidate list already is the full set and the middle stage is a
+	// no-op, preserving the historical two-stage behavior bit-for-bit.
+	cands := st.Candidates(t, c.eps+1)
+	best, err := run(cands, true)
 	if err != nil {
 		return nil, err
 	}
+	if best == nil && len(cands) < c.m {
+		if best, err = run(c.allProcs, true); err != nil {
+			return nil, err
+		}
+	}
 	if best == nil {
-		if best, err = run(false); err != nil {
+		if best, err = run(c.allProcs, false); err != nil {
 			return nil, err
 		}
 	}

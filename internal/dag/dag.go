@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 )
 
 // TaskID identifies a task within a DAG. IDs are dense: 0 .. NumTasks()-1.
@@ -31,19 +32,26 @@ type Edge struct {
 // DAG is a weighted directed acyclic task graph. The zero value is an
 // empty graph ready for AddTask / AddEdge.
 type DAG struct {
-	names []string
+	n     int      // number of tasks
+	auto  int      // tasks [0, auto) are auto-named "t<id>" lazily by Name
+	names []string // explicit names for tasks [auto, n)
 	succ  [][]Edge // outgoing edges per task
 	pred  [][]Edge // incoming edges per task
 	edges int
+
+	compiled *Compiled // cached frozen view; nil after any mutation
 }
 
-// New returns a DAG with n unnamed tasks and no edges.
+// New returns a DAG with n generated-name tasks ("t0".."t<n-1>") and no
+// edges. Names are materialized lazily by Name, so construction costs
+// no per-task string allocations.
 func New(n int) *DAG {
-	g := &DAG{}
-	for i := 0; i < n; i++ {
-		g.AddTask(fmt.Sprintf("t%d", i))
+	return &DAG{
+		n:    n,
+		auto: n,
+		succ: make([][]Edge, n),
+		pred: make([][]Edge, n),
 	}
-	return g
 }
 
 // AddTask appends a task with the given name and returns its ID.
@@ -51,7 +59,9 @@ func (g *DAG) AddTask(name string) TaskID {
 	g.names = append(g.names, name)
 	g.succ = append(g.succ, nil)
 	g.pred = append(g.pred, nil)
-	return TaskID(len(g.names) - 1)
+	g.n++
+	g.compiled = nil
+	return TaskID(g.n - 1)
 }
 
 // AddEdge adds a precedence edge from -> to with the given data volume.
@@ -68,24 +78,37 @@ func (g *DAG) AddEdge(from, to TaskID, volume float64) {
 	g.succ[from] = append(g.succ[from], e)
 	g.pred[to] = append(g.pred[to], e)
 	g.edges++
+	g.compiled = nil
 }
 
-func (g *DAG) valid(t TaskID) bool { return t >= 0 && int(t) < len(g.names) }
+func (g *DAG) valid(t TaskID) bool { return t >= 0 && int(t) < g.n }
 
 // NumTasks returns v = |V|.
 //
 //caft:zeroalloc
-func (g *DAG) NumTasks() int { return len(g.names) }
+func (g *DAG) NumTasks() int { return g.n }
 
 // NumEdges returns e = |E|.
 //
 //caft:zeroalloc
 func (g *DAG) NumEdges() int { return g.edges }
 
-// Name returns the task's name.
+// Name returns the task's name. Generated names ("t<id>" from New) are
+// materialized here, not stored, so they cost one allocation per call
+// but none at construction time. Allocation-sensitive callers can test
+// GeneratedName first and format "t<id>" themselves.
+func (g *DAG) Name(t TaskID) string {
+	if int(t) < g.auto {
+		return "t" + strconv.Itoa(int(t))
+	}
+	return g.names[int(t)-g.auto]
+}
+
+// GeneratedName reports whether t carries a generated name — i.e. Name
+// would materialize "t<id>" rather than return a stored string.
 //
 //caft:zeroalloc
-func (g *DAG) Name(t TaskID) string { return g.names[t] }
+func (g *DAG) GeneratedName(t TaskID) bool { return int(t) < g.auto }
 
 // Succ returns the outgoing edges of t (Γ+(t)). The slice must not be
 // modified by the caller.

@@ -19,8 +19,12 @@ type jsonEdge struct {
 }
 
 // MarshalJSON encodes the DAG as {"tasks": [...names], "edges": [...]}.
+// Lazily generated names are materialized on the way out.
 func (g *DAG) MarshalJSON() ([]byte, error) {
-	jd := jsonDAG{Tasks: g.names}
+	jd := jsonDAG{Tasks: make([]string, g.NumTasks())}
+	for t := range jd.Tasks {
+		jd.Tasks[t] = g.Name(TaskID(t))
+	}
 	for _, e := range g.Edges() {
 		jd.Edges = append(jd.Edges, jsonEdge{From: int(e.From), To: int(e.To), Volume: e.Volume})
 	}

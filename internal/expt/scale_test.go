@@ -64,3 +64,37 @@ func TestRunScaleDeterministicAcrossWorkers(t *testing.T) {
 		t.Errorf("timing stream missing wall-clock line: %q", timing.String())
 	}
 }
+
+// TestRunScaleLargeSmoke exercises the large-size path of the sweep —
+// bounded candidate probing and the FTBAR skip above scaleFullMax — at
+// v=10^4 with a single graph. It runs in -short mode as the CI smoke
+// for the 10^5 tail of ScaleSizes: the same code path, two decades
+// cheaper.
+func TestRunScaleLargeSmoke(t *testing.T) {
+	const v = 10000
+	if v <= scaleFullMax {
+		t.Fatalf("smoke size %d does not reach the bounded-probing regime (scaleFullMax=%d)", v, scaleFullMax)
+	}
+	var out, timing bytes.Buffer
+	if err := RunScale(&out, &timing, []int{v}, 1, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	// FTBAR is dropped above scaleFullMax; everyone else reports.
+	if strings.Contains(s, "FTBAR") {
+		t.Errorf("FTBAR row present above scaleFullMax:\n%s", s)
+	}
+	for _, alg := range []string{"HEFT", "CAFT", "FTSA", "HOFT"} {
+		for _, pol := range []string{"append", "insertion"} {
+			needle := "10000\t" + pol + "\t" + alg
+			if !strings.Contains(s, needle) {
+				t.Errorf("scale output missing row %q:\n%s", needle, s)
+			}
+		}
+	}
+	for _, needle := range []string{"sched time/graph", "allocs/graph"} {
+		if !strings.Contains(timing.String(), needle) {
+			t.Errorf("timing stream missing %q: %q", needle, timing.String())
+		}
+	}
+}

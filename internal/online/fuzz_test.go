@@ -28,7 +28,7 @@ func FuzzOnlineReschedule(f *testing.F) {
 		if len(data) < 3 {
 			return
 		}
-		seed, alg, pol := int64(data[0]), data[1]%3, timeline.Policy(data[2] % 2)
+		seed, alg, pol := int64(data[0]), data[1]%3, timeline.Policy(data[2]%2)
 		data = data[3:]
 		rng := rand.New(rand.NewSource(seed))
 		p := randomProblem(rng, 12+int(seed%8), 4, pol)

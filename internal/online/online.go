@@ -71,11 +71,11 @@ type op struct {
 	dur      float64
 	seq      int32
 
-	src                int32 // comm: op index of its source replica
-	resBase, nRes      int32 // occupied resources in Engine.resIDs
-	slotBase, nSlots   int32 // rep: predecessor input slots
-	feedBase, nFeeds   int32 // comm: fed slots in Engine.feedAdj
-	waits0             int32 // static constraint count
+	src              int32 // comm: op index of its source replica
+	resBase, nRes    int32 // occupied resources in Engine.resIDs
+	slotBase, nSlots int32 // rep: predecessor input slots
+	feedBase, nFeeds int32 // comm: fed slots in Engine.feedAdj
+	waits0           int32 // static constraint count
 
 	waits         int32
 	acc           float64 // running max of resolved constraint values
@@ -106,12 +106,19 @@ type Engine struct {
 	s     *sched.Schedule
 	p     *sched.Problem
 	g     *dag.DAG
+	cg    *dag.Compiled
 	m     int
 	net   sched.Network
 	macro bool
 
 	st   *sched.State
 	body func() error // prebuilt Speculate body (alloc-free Run)
+
+	// Incremental upward-rank maintenance (Options.RankOrder); built
+	// lazily on the first rank-ordered replay and reused afterwards.
+	ranker   *dag.Ranker
+	rankNode []float64
+	rankUnit float64
 
 	// Static tables (prefix [0, n0) of every dynamic slice).
 	ops      []op
@@ -163,7 +170,7 @@ type Engine struct {
 // produced by this repository's schedulers always are.
 func NewEngine(s *sched.Schedule) (*Engine, error) {
 	g := s.P.G
-	order, err := g.TopoOrder()
+	cg, err := g.Compile()
 	if err != nil {
 		return nil, err
 	}
@@ -171,13 +178,12 @@ func NewEngine(s *sched.Schedule) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	e := &Engine{s: s, p: s.P, g: g, m: s.P.Plat.M, net: s.P.Network(), st: st}
+	e := &Engine{s: s, p: s.P, g: g, cg: cg, m: s.P.Plat.M, net: s.P.Network(), st: st}
 	e.macro = s.P.Model == sched.MacroDataflow
 	e.body = func() error { return e.exec() }
-	e.topoIdx = make([]int32, g.NumTasks())
-	for i, t := range order {
-		e.topoIdx[t] = int32(i)
-	}
+	// The compiled view's topological index is read-only here; aliasing
+	// is safe because the engine freezes the graph at construction.
+	e.topoIdx = cg.TopoIndex()
 
 	// Replica ops, task-major in schedule order (sim.Replayer's order).
 	nRep := s.ReplicaCount()
@@ -201,8 +207,8 @@ func NewEngine(s *sched.Schedule) (*Engine, error) {
 			e.taskOps[t] = append(e.taskOps[t], i)
 			o := op{kind: opRep, task: dag.TaskID(t), rep: rep, dur: rep.Finish - rep.Start, seq: rep.Seq, src: noOp}
 			o.slotBase = int32(len(e.slotOf))
-			o.nSlots = int32(len(g.Pred(dag.TaskID(t))))
-			for range g.Pred(dag.TaskID(t)) {
+			o.nSlots = int32(cg.InDegree(dag.TaskID(t)))
+			for j := int32(0); j < o.nSlots; j++ {
 				e.slotOf = append(e.slotOf, i)
 				e.slotInit = append(e.slotInit, 0)
 			}
@@ -225,8 +231,9 @@ func NewEngine(s *sched.Schedule) (*Engine, error) {
 		}
 		o.feedBase = int32(len(e.feedAdj))
 		dst := &e.ops[di]
-		for j, edge := range g.Pred(c.To) {
-			if edge.From == c.From {
+		from, _ := cg.Pred(c.To)
+		for j, f := range from {
+			if dag.TaskID(f) == c.From {
 				slot := dst.slotBase + int32(j)
 				e.feedAdj = append(e.feedAdj, slot)
 				e.slotInit[slot]++
@@ -322,12 +329,15 @@ func NewEngine(s *sched.Schedule) (*Engine, error) {
 
 //caft:zeroalloc
 func (e *Engine) computeID(proc int) int { return proc }
+
 //caft:zeroalloc
-func (e *Engine) sendID(proc int) int    { return e.m + proc }
+func (e *Engine) sendID(proc int) int { return e.m + proc }
+
 //caft:zeroalloc
-func (e *Engine) recvID(proc int) int    { return 2*e.m + proc }
+func (e *Engine) recvID(proc int) int { return 2*e.m + proc }
+
 //caft:zeroalloc
-func (e *Engine) linkID(l int) int       { return 3*e.m + l }
+func (e *Engine) linkID(l int) int { return 3*e.m + l }
 
 //caft:zeroalloc
 func (e *Engine) lookup(t dag.TaskID, copy int) int32 {

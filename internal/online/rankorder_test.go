@@ -1,0 +1,130 @@
+package online
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"caft/internal/sched/heft"
+	"caft/internal/timeline"
+)
+
+// TestOnlineRankOrderRecovers replays crash traces with rank-ordered
+// rescheduling: every recoverable task completes, the outcome is
+// validator-clean, the engine stays pristine, and a no-crash replay —
+// where the re-placement order never fires — is bit-identical to the
+// topological-order default.
+func TestOnlineRankOrderRecovers(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 6; trial++ {
+		p := randomProblem(rng, 25+rng.Intn(10), 5, timeline.Policy(trial%2))
+		s, err := heft.Schedule(p, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := NewEngine(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clean, err := e.Run(nil, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cleanRank, err := e.Run(nil, Options{RankOrder: true, Reschedule: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameOutcome(t, "no-crash rank order", cleanRank, clean)
+		base, _, err := e.Makespan(nil, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		trace := map[int]float64{
+			rng.Intn(5): base * rng.Float64(),
+			rng.Intn(5): base * rng.Float64(),
+		}
+		res, err := e.Run(trace, Options{Reschedule: true, RankOrder: true})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if len(res.TasksLost) != 0 {
+			t.Fatalf("trial %d: rank-ordered replay lost tasks %v with %d of 5 processors crashed", trial, res.TasksLost, len(trace))
+		}
+		if err := Validate(p, res, trace); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if lat, err := res.Latency(); err != nil || math.IsInf(lat, 1) {
+			t.Fatalf("trial %d: latency %v (%v)", trial, lat, err)
+		}
+		if err := e.verifyPristine(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+// TestOnlineRankOrderSameLossSet pins that the re-placement order only
+// affects timing, never recoverability: under every trace the set of
+// lost tasks must match the topological-order engine exactly.
+func TestOnlineRankOrderSameLossSet(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	p := randomProblem(rng, 30, 5, timeline.Append)
+	s, err := heft.Schedule(p, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := horizonOf(t, e)
+	for draw := 0; draw < 10; draw++ {
+		trace := map[int]float64{
+			draw % 5:       h * rng.Float64(),
+			(draw * 3) % 5: h * rng.Float64(),
+		}
+		topo, err := e.Run(trace, Options{Reschedule: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rank, err := e.Run(trace, Options{Reschedule: true, RankOrder: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(topo.TasksLost) != len(rank.TasksLost) {
+			t.Fatalf("draw %d: topo order lost %v, rank order lost %v", draw, topo.TasksLost, rank.TasksLost)
+		}
+		for i := range topo.TasksLost {
+			if topo.TasksLost[i] != rank.TasksLost[i] {
+				t.Fatalf("draw %d: topo order lost %v, rank order lost %v", draw, topo.TasksLost, rank.TasksLost)
+			}
+		}
+	}
+}
+
+// TestOnlineRankOrderAllocPin pins the steady-state rank-ordered replay:
+// after the lazy ranker build, a no-crash Makespan — including the
+// per-replay Ranker.Reset — allocates nothing.
+func TestOnlineRankOrderAllocPin(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	p := randomProblem(rng, 40, 6, timeline.Append)
+	s, err := heft.Schedule(p, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Options{Reschedule: true, RankOrder: true}
+	if _, _, err := e.Makespan(nil, opt); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, _, err := e.Makespan(nil, opt); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state rank-ordered replay allocates %.1f/op, want 0", allocs)
+	}
+}

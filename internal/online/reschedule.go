@@ -54,8 +54,9 @@ func (e *Engine) reschedule(tau float64) error {
 	}
 	for k := 0; k < len(e.needList); k++ {
 		t := dag.TaskID(e.needList[k])
-		for _, edge := range e.g.Pred(t) {
-			p := edge.From
+		from, _ := e.cg.Pred(t)
+		for _, f := range from {
+			p := dag.TaskID(f)
 			if e.inNeed[p] || e.unrecover[p] || e.hasData(p) {
 				continue
 			}
@@ -63,9 +64,23 @@ func (e *Engine) reschedule(tau float64) error {
 			e.needList = append(e.needList, int32(p))
 		}
 	}
-	sort.Slice(e.needList, func(a, b int) bool {
-		return e.topoIdx[e.needList[a]] < e.topoIdx[e.needList[b]]
-	})
+	if e.opt.RankOrder {
+		// Most critical lost work first. Upward ranks strictly decrease
+		// along edges (execution costs are positive), so descending rank
+		// is topologically safe; ties fall back to topological index.
+		sort.Slice(e.needList, func(a, b int) bool {
+			ra := e.ranker.Rank(dag.TaskID(e.needList[a]))
+			rb := e.ranker.Rank(dag.TaskID(e.needList[b]))
+			if ra != rb {
+				return ra > rb
+			}
+			return e.topoIdx[e.needList[a]] < e.topoIdx[e.needList[b]]
+		})
+	} else {
+		sort.Slice(e.needList, func(a, b int) bool {
+			return e.topoIdx[e.needList[a]] < e.topoIdx[e.needList[b]]
+		})
+	}
 
 	e.st.SetFloor(tau)
 	defer e.st.SetFloor(0)
@@ -102,40 +117,37 @@ func (e *Engine) hasData(t dag.TaskID) bool {
 
 // placeReactive places one new replica of t on the surviving processor
 // giving the earliest finish, then wires the placement into the event
-// tables. A task with no reachable source for some predecessor, or no
-// feasible processor, is marked unrecoverable and stays lost.
+// tables. Probing consults the bounded candidate set (Problem.ProbeWidth
+// via State.Candidates; all m processors by default) and falls back to
+// the full processor set when no bounded candidate survives or accepts —
+// bounding must never turn a recoverable task unrecoverable. A task with
+// no reachable source for some predecessor, or no feasible processor at
+// all, is marked unrecoverable and stays lost.
 func (e *Engine) placeReactive(t dag.TaskID, tau float64) error {
-	preds := e.g.Pred(t)
-	sets := make([]sched.SourceSet, 0, len(preds))
-	for _, edge := range preds {
+	pf, pv := e.cg.Pred(t)
+	sets := make([]sched.SourceSet, 0, len(pf))
+	for k, f := range pf {
+		from := dag.TaskID(f)
 		var srcs []sched.Replica
-		for _, r := range e.st.Reps[edge.From] {
+		for _, r := range e.st.Reps[from] {
 			if !e.procDead[r.Proc] {
 				srcs = append(srcs, r)
 			}
 		}
 		if len(srcs) == 0 {
-			e.unrecover[t] = true
+			e.markUnrecoverable(t)
 			return nil
 		}
-		sets = append(sets, sched.SourceSet{Pred: edge.From, Volume: edge.Volume, Sources: srcs})
+		sets = append(sets, sched.SourceSet{Pred: from, Volume: pv[k], Sources: srcs})
 	}
 	copyIdx := int(e.nextCopy[t])
-	bestProc, bestFin := -1, math.Inf(1)
-	for proc := 0; proc < e.m; proc++ {
-		if e.procDead[proc] {
-			continue
-		}
-		rep, err := e.st.ProbeReplica(t, copyIdx, proc, sets)
-		if err != nil {
-			continue
-		}
-		if rep.Finish < bestFin {
-			bestProc, bestFin = proc, rep.Finish
-		}
+	cands := e.st.Candidates(t, 1)
+	bestProc := e.bestSurvivor(t, copyIdx, cands, sets)
+	if bestProc < 0 && len(cands) < e.m {
+		bestProc = e.bestSurvivor(t, copyIdx, nil, sets)
 	}
 	if bestProc < 0 {
-		e.unrecover[t] = true
+		e.markUnrecoverable(t)
 		return nil
 	}
 	e.nextCopy[t]++
@@ -149,15 +161,56 @@ func (e *Engine) placeReactive(t dag.TaskID, tau float64) error {
 	return nil
 }
 
+// bestSurvivor probes placing replica copyIdx of t on each candidate
+// processor — the given slice, or every processor when procs is nil —
+// skipping crashed ones, and returns the processor with the earliest
+// probed finish, or -1 when no candidate survives and accepts.
+func (e *Engine) bestSurvivor(t dag.TaskID, copyIdx int, procs []int, sets []sched.SourceSet) int {
+	bestProc, bestFin := -1, math.Inf(1)
+	n := e.m
+	if procs != nil {
+		n = len(procs)
+	}
+	for k := 0; k < n; k++ {
+		proc := k
+		if procs != nil {
+			proc = procs[k]
+		}
+		if e.procDead[proc] {
+			continue
+		}
+		rep, err := e.st.ProbeReplica(t, copyIdx, proc, sets)
+		if err != nil {
+			continue
+		}
+		if rep.Finish < bestFin {
+			bestProc, bestFin = proc, rep.Finish
+		}
+	}
+	return bestProc
+}
+
+// markUnrecoverable records that t can never complete in this replay.
+// Under RankOrder the task is disabled in the rank maintainer and the
+// ranks of its ancestor cone are repaired incrementally — paths through
+// dead work no longer inflate the urgency of live tasks.
+func (e *Engine) markUnrecoverable(t dag.TaskID) {
+	e.unrecover[t] = true
+	if e.opt.RankOrder {
+		e.ranker.Disable(t)
+		e.ranker.Repair()
+	}
+}
+
 // wire appends the reactive placement — its input transfers first, then
 // the replica — to the event tables and registers every constraint.
 // All new operations carry minStart = tau: a reactive placement cannot
 // occupy resources before the crash that triggered it was observed.
 func (e *Engine) wire(t dag.TaskID, rep sched.Replica, newComms []sched.Comm, tau float64) {
-	preds := e.g.Pred(t)
+	pf, _ := e.cg.Pred(t)
 	repIdx := int32(len(e.ops) + len(newComms))
 	slotBase := int32(len(e.slotOf))
-	for range preds {
+	for range pf {
 		e.slotOf = append(e.slotOf, repIdx)
 		e.slotInit = append(e.slotInit, 0)
 		e.slotLeft = append(e.slotLeft, 0)
@@ -168,8 +221,8 @@ func (e *Engine) wire(t dag.TaskID, rep sched.Replica, newComms []sched.Comm, ta
 		o := op{kind: opComm, state: opPending, reactive: true, comm: c, dur: c.Dur, seq: c.Seq, minStart: tau, placedAt: tau}
 		o.src = e.lookup(c.From, c.SrcCopy)
 		o.feedBase = int32(len(e.feedAdj))
-		for j, edge := range preds {
-			if edge.From == c.From {
+		for j, f := range pf {
+			if dag.TaskID(f) == c.From {
 				slot := slotBase + int32(j)
 				e.feedAdj = append(e.feedAdj, slot)
 				e.slotLeft[slot]++
@@ -203,7 +256,7 @@ func (e *Engine) wire(t dag.TaskID, rep sched.Replica, newComms []sched.Comm, ta
 	}
 	o := op{kind: opRep, state: opPending, reactive: true, task: t, rep: rep, dur: rep.Finish - rep.Start, seq: rep.Seq, src: noOp, minStart: tau, placedAt: tau}
 	o.slotBase = slotBase
-	o.nSlots = int32(len(preds))
+	o.nSlots = int32(len(pf))
 	o.resBase = int32(len(e.resIDs))
 	e.resIDs = append(e.resIDs, int32(e.computeID(rep.Proc)))
 	o.nRes = 1

@@ -6,7 +6,7 @@
 package all
 
 import (
-	_ "caft/internal/core"       // caft, caft-greedy
+	_ "caft/internal/core"        // caft, caft-greedy
 	_ "caft/internal/sched/ftbar" // ftbar
 	_ "caft/internal/sched/ftsa"  // ftsa
 	_ "caft/internal/sched/heft"  // heft

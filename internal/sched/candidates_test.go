@@ -1,0 +1,139 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"caft/internal/dag"
+	"caft/internal/gen"
+	"caft/internal/platform"
+	"caft/internal/timeline"
+)
+
+// TestCandidatesUnbounded pins the ProbeWidth = 0 contract: the
+// candidate set is exactly 0..m-1 in ascending order, so consumers
+// iterating it are bit-identical to the historical full loop. Widths of
+// m or more must agree.
+func TestCandidatesUnbounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	p := randomValidatorProblem(rng, 20, 6)
+	for _, width := range []int{0, 6, 7, 100} {
+		p.ProbeWidth = width
+		st := NewState(p)
+		for task := 0; task < p.G.NumTasks(); task++ {
+			got := st.Candidates(dag.TaskID(task), 1)
+			if len(got) != 6 {
+				t.Fatalf("width %d task %d: %d candidates, want 6", width, task, len(got))
+			}
+			for i, proc := range got {
+				if proc != i {
+					t.Fatalf("width %d task %d: candidates %v, want 0..5", width, task, got)
+				}
+			}
+		}
+	}
+}
+
+// TestCandidatesBounded checks the bounded set: size max(k, min)
+// clamped to m, ascending processor order, and exactly the k processors
+// with the smallest OFT lower bound (ties to the smaller ID).
+func TestCandidatesBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	p := randomValidatorProblem(rng, 25, 8)
+	oft, err := OFT(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{1, 2, 3, 7} {
+		p.ProbeWidth = k
+		st := NewState(p)
+		for task := 0; task < p.G.NumTasks(); task++ {
+			got := st.Candidates(dag.TaskID(task), 1)
+			if len(got) != k {
+				t.Fatalf("k=%d task %d: %d candidates", k, task, len(got))
+			}
+			for i := 1; i < len(got); i++ {
+				if got[i] <= got[i-1] {
+					t.Fatalf("k=%d task %d: candidates %v not strictly ascending", k, task, got)
+				}
+			}
+			// Reference: selection by (OFT, proc) over the full row.
+			type pair struct {
+				proc int
+				sc   float64
+			}
+			ref := make([]pair, 8)
+			for proc := range ref {
+				ref[proc] = pair{proc, oft[task][proc]}
+			}
+			for i := 1; i < len(ref); i++ {
+				for j := i; j > 0 && (ref[j].sc < ref[j-1].sc || (ref[j].sc == ref[j-1].sc && ref[j].proc < ref[j-1].proc)); j-- {
+					ref[j], ref[j-1] = ref[j-1], ref[j]
+				}
+			}
+			want := map[int]bool{}
+			for _, pr := range ref[:k] {
+				want[pr.proc] = true
+			}
+			for _, proc := range got {
+				if !want[proc] {
+					t.Fatalf("k=%d task %d: candidate P%d not among the %d best OFT procs (%v)", k, task, proc, k, got)
+				}
+			}
+		}
+	}
+}
+
+// TestCandidatesMinFloor checks that min widens an over-narrow
+// ProbeWidth: replica placement needs at least eps+1 distinct
+// processors no matter how small the width.
+func TestCandidatesMinFloor(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	p := randomValidatorProblem(rng, 15, 5)
+	p.ProbeWidth = 1
+	st := NewState(p)
+	if got := st.Candidates(0, 3); len(got) != 3 {
+		t.Fatalf("Candidates(min=3) returned %d procs with ProbeWidth=1", len(got))
+	}
+	if got := st.Candidates(0, 9); len(got) != 5 {
+		t.Fatalf("Candidates(min=9) returned %d procs, want all 5", len(got))
+	}
+}
+
+// TestCandidatesAllocPin pins the bounded-probe steady state: after the
+// lazy OFT build, Candidates allocates nothing.
+func TestCandidatesAllocPin(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	p := randomValidatorProblem(rng, 30, 6)
+	for _, width := range []int{0, 2} {
+		p.ProbeWidth = width
+		st := NewState(p)
+		st.Candidates(0, 1)
+		allocs := testing.AllocsPerRun(100, func() {
+			for task := 0; task < p.G.NumTasks(); task++ {
+				st.Candidates(dag.TaskID(task), 2)
+			}
+		})
+		if allocs != 0 {
+			t.Fatalf("width %d: steady-state Candidates allocates %.1f/op, want 0", width, allocs)
+		}
+	}
+}
+
+// BenchmarkCandidates measures one bounded candidate selection over a
+// warmed-up state (the per-task inner loop of every bounded scheduler).
+func BenchmarkCandidates(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	params := gen.RandomParams{MinTasks: 1000, MaxTasks: 1000, MinDegree: 1, MaxDegree: 3, MinVolume: 50, MaxVolume: 150}
+	g := gen.RandomLayered(rng, params)
+	plat := platform.NewRandom(rng, 16, 0.5, 1.0)
+	exec := platform.GenExecForGranularity(rng, g, plat, 1.0, platform.DefaultHeterogeneity)
+	p := &Problem{G: g, Plat: plat, Exec: exec, Model: OnePort, Policy: timeline.Append, ProbeWidth: 4}
+	st := NewState(p)
+	st.Candidates(0, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Candidates(dag.TaskID(i%1000), 2)
+	}
+}

@@ -198,13 +198,15 @@ type procPressure struct {
 
 // bestProcessors returns the npf+1 processors with the minimum schedule
 // pressure for t, in increasing pressure order, and the task's urgency:
-// the maximum pressure within that selected set.
+// the maximum pressure within that selected set. Probing covers every
+// processor by default and the top-ProbeWidth candidates (never fewer
+// than the npf+1 the replicas need) when bounded.
 func bestProcessors(st *sched.State, l *sched.Lister, t dag.TaskID, npf int, prevLen float64) ([]procPressure, float64, error) {
 	sources := st.FullSources(t)
 	m := st.P.Plat.M
 	all := make([]procPressure, 0, m)
 	bl := l.BottomLevel(t)
-	for proc := 0; proc < m; proc++ {
+	for _, proc := range st.Candidates(t, npf+1) {
 		rep, err := st.ProbeReplica(t, 0, proc, sources)
 		if err != nil {
 			return nil, 0, err

@@ -63,13 +63,16 @@ type candidate struct {
 	finish float64
 }
 
-// scheduleTask simulates t on every processor and commits replicas to
-// the ε+1 best ones in increasing simulated-finish order.
+// scheduleTask simulates t on every candidate processor (all m by
+// default; the top ProbeWidth by optimistic finish time when bounded,
+// never fewer than the ε+1 distinct processors the replicas need) and
+// commits replicas to the ε+1 best ones in increasing simulated-finish
+// order.
 func scheduleTask(st *sched.State, t dag.TaskID, eps int) error {
 	sources := st.FullSources(t)
 	m := st.P.Plat.M
 	cands := make([]candidate, 0, m)
-	for proc := 0; proc < m; proc++ {
+	for _, proc := range st.Candidates(t, eps+1) {
 		rep, err := st.ProbeReplica(t, 0, proc, sources)
 		if err != nil {
 			return err

@@ -57,8 +57,12 @@ func Schedule(p *sched.Problem, rng *rand.Rand) (*sched.Schedule, error) {
 	if err != nil {
 		return nil, err
 	}
-	g, m := p.G, p.Plat.M
-	n := g.NumTasks()
+	cg, err := p.G.Compile()
+	if err != nil {
+		return nil, err
+	}
+	m := p.Plat.M
+	n := cg.NumTasks()
 
 	// Priority: mean optimistic finish over processors.
 	prio := make([]float64, n)
@@ -74,7 +78,7 @@ func Schedule(p *sched.Problem, rng *rand.Rand) (*sched.Schedule, error) {
 	unsched := make([]int, n)
 	var free []dag.TaskID
 	for t := 0; t < n; t++ {
-		unsched[t] = g.InDegree(dag.TaskID(t))
+		unsched[t] = cg.InDegree(dag.TaskID(t))
 		if unsched[t] == 0 {
 			free = append(free, dag.TaskID(t))
 		}
@@ -102,7 +106,7 @@ func Schedule(p *sched.Problem, rng *rand.Rand) (*sched.Schedule, error) {
 		// path (OFT minus the local execution already counted in EFT).
 		sources := st.FullSources(t)
 		bestProc, bestScore, bestFinish := -1, math.Inf(1), math.Inf(1)
-		for proc := 0; proc < m; proc++ {
+		for _, proc := range st.Candidates(t, 1) {
 			rep, err := st.ProbeReplica(t, 0, proc, sources)
 			if err != nil {
 				return nil, err
@@ -116,10 +120,11 @@ func Schedule(p *sched.Problem, rng *rand.Rand) (*sched.Schedule, error) {
 			return nil, err
 		}
 		scheduled++
-		for _, e := range g.Succ(t) {
-			unsched[e.To]--
-			if unsched[e.To] == 0 {
-				free = append(free, e.To)
+		to, _ := cg.Succ(t)
+		for _, s := range to {
+			unsched[s]--
+			if unsched[s] == 0 {
+				free = append(free, dag.TaskID(s))
 			}
 		}
 	}
@@ -133,38 +138,10 @@ func Schedule(p *sched.Problem, rng *rand.Rand) (*sched.Schedule, error) {
 // backward sweep over the DAG: exit tasks cost their execution time,
 // and an inner task on p optimistically assumes each child lands on its
 // best processor, paying the actual pairwise transfer cost only when
-// that processor differs from p.
+// that processor differs from p. Since bounded-candidate probing made
+// the table part of the shared machinery, the computation lives in
+// sched.OFT (over the compiled graph view); this wrapper remains as
+// HOFT's historical front door.
 func OFT(p *sched.Problem) ([][]float64, error) {
-	g, m := p.G, p.Plat.M
-	order, err := g.TopoOrder()
-	if err != nil {
-		return nil, err
-	}
-	net := p.Network()
-	oft := make([][]float64, g.NumTasks())
-	for i := len(order) - 1; i >= 0; i-- {
-		t := order[i]
-		row := make([]float64, m)
-		for proc := 0; proc < m; proc++ {
-			acc := 0.0
-			for _, e := range g.Succ(t) {
-				minC := math.Inf(1)
-				for q := 0; q < m; q++ {
-					c := oft[e.To][q]
-					if q != proc {
-						c += net.Dur(proc, q, e.Volume)
-					}
-					if c < minC {
-						minC = c
-					}
-				}
-				if minC > acc {
-					acc = minC
-				}
-			}
-			row[proc] = p.Exec[t][proc] + acc
-		}
-		oft[t] = row
-	}
-	return oft, nil
+	return sched.OFT(p)
 }

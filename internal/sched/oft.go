@@ -1,0 +1,61 @@
+package sched
+
+import (
+	"math"
+
+	"caft/internal/dag"
+)
+
+// OFT computes the optimistic finish-time table
+//
+//	OFT[t][p] = w(t,p) + max over children c of
+//	            min over q of (OFT[c][q] + (q == p ? 0 : c(e)))
+//
+// by a backward sweep over the compiled graph view: exit tasks cost
+// their execution time, and an inner task on p optimistically assumes
+// each child lands on its best processor, paying the actual pairwise
+// transfer cost only when that processor differs from p. It is HOFT's
+// table (package sched/hoft delegates here), and — because it lower-
+// bounds the finish time achievable through p for the whole remaining
+// subtree — it is also the processor-ranking key of bounded-candidate
+// probing (State.Candidates).
+//
+// Rows are views into one flat backing array, laid out by task ID.
+func OFT(p *Problem) ([][]float64, error) {
+	c, err := p.G.Compile()
+	if err != nil {
+		return nil, err
+	}
+	m := p.Plat.M
+	net := p.Network()
+	topo := c.Topo()
+	n := c.NumTasks()
+	oft := make([][]float64, n)
+	flat := make([]float64, n*m)
+	for i := n - 1; i >= 0; i-- {
+		t := topo[i]
+		row := flat[int(t)*m : (int(t)+1)*m]
+		to, vol := c.Succ(dag.TaskID(t))
+		for proc := 0; proc < m; proc++ {
+			acc := 0.0
+			for k, s := range to {
+				minC := math.Inf(1)
+				for q := 0; q < m; q++ {
+					cc := oft[s][q]
+					if q != proc {
+						cc += net.Dur(proc, q, vol[k])
+					}
+					if cc < minC {
+						minC = cc
+					}
+				}
+				if minC > acc {
+					acc = minC
+				}
+			}
+			row[proc] = p.Exec[t][proc] + acc
+		}
+		oft[t] = row
+	}
+	return oft, nil
+}

@@ -16,10 +16,10 @@ import (
 // are static. Ties are broken randomly (paper: "ties are broken
 // randomly") with the caller-provided source for reproducibility.
 type Lister struct {
-	g         *dag.DAG
+	c         *dag.Compiled
 	bl        []float64
 	tl        []float64
-	meanComm  func(dag.Edge) float64
+	meanDelay float64 // mean communication cost per unit volume
 	free      []dag.TaskID
 	unsched   []int // unscheduled predecessor count
 	scheduled []bool
@@ -27,25 +27,30 @@ type Lister struct {
 	rng       *rand.Rand
 }
 
-// NewLister builds the lister for a problem. rng is used only for tie
-// breaking and may not be nil.
+// NewLister builds the lister for a problem over the graph's compiled
+// view. rng is used only for tie breaking and may not be nil. It panics
+// on a cyclic graph, like the level computations it replaces; run
+// Problem.Validate first.
 func NewLister(p *Problem, rng *rand.Rand) *Lister {
-	g := p.G
+	c, err := p.G.Compile()
+	if err != nil {
+		panic(err)
+	}
+	n := c.NumTasks()
 	meanExec := p.Exec.Mean()
 	meanDelay := p.Network().MeanUnitDelay()
-	comm := func(e dag.Edge) float64 { return e.Volume * meanDelay }
 	l := &Lister{
-		g:         g,
-		bl:        g.BottomLevels(meanExec, comm),
-		tl:        g.TopLevels(meanExec, comm),
-		meanComm:  comm,
-		unsched:   make([]int, g.NumTasks()),
-		scheduled: make([]bool, g.NumTasks()),
-		remaining: g.NumTasks(),
+		c:         c,
+		bl:        c.BottomLevelsInto(make([]float64, n), meanExec, meanDelay),
+		tl:        c.TopLevelsInto(make([]float64, n), meanExec, meanDelay),
+		meanDelay: meanDelay,
+		unsched:   make([]int, n),
+		scheduled: make([]bool, n),
+		remaining: n,
 		rng:       rng,
 	}
-	for t := 0; t < g.NumTasks(); t++ {
-		l.unsched[t] = g.InDegree(dag.TaskID(t))
+	for t := 0; t < n; t++ {
+		l.unsched[t] = c.InDegree(dag.TaskID(t))
 		if l.unsched[t] == 0 {
 			l.free = append(l.free, dag.TaskID(t))
 		}
@@ -120,14 +125,15 @@ func (l *Lister) MarkScheduled(t dag.TaskID, earliestFinish float64) {
 	}
 	l.scheduled[t] = true
 	l.remaining--
-	for _, e := range l.g.Succ(t) {
-		cand := earliestFinish + l.meanComm(e)
-		if cand > l.tl[e.To] {
-			l.tl[e.To] = cand
+	to, vol := l.c.Succ(t)
+	for k, s := range to {
+		cand := earliestFinish + vol[k]*l.meanDelay
+		if cand > l.tl[s] {
+			l.tl[s] = cand
 		}
-		l.unsched[e.To]--
-		if l.unsched[e.To] == 0 {
-			l.free = append(l.free, e.To)
+		l.unsched[s]--
+		if l.unsched[s] == 0 {
+			l.free = append(l.free, dag.TaskID(s))
 		}
 	}
 }

@@ -129,6 +129,17 @@ type Problem struct {
 	Policy timeline.Policy
 	Net    Network
 	Probe  ProbeMode
+
+	// ProbeWidth bounds placement probing: when positive, schedulers
+	// that consult State.Candidates probe only the ProbeWidth processors
+	// with the best optimistic-finish-time lower bound for the task
+	// (hoft's OFT table), instead of all m. 0 (the default) probes every
+	// processor and is bit-for-bit identical to the unbounded behavior;
+	// so is any width >= m. Schedulers may probe more than ProbeWidth
+	// processors when correctness demands it (eps+1 replicas need eps+1
+	// distinct processors, and failed placements fall back to the full
+	// set), so a small width bounds work, not feasibility.
+	ProbeWidth int
 }
 
 // Network returns the effective interconnect (Net or the clique).

@@ -134,142 +134,360 @@ func (s *Schedule) FindReplica(t dag.TaskID, copy int) *Replica {
 //     (constraints (1), (2), (3) of the paper) and task executions do
 //     not overlap per processor.
 func (s *Schedule) Validate() error {
+	return NewValidator().Validate(s)
+}
+
+// Validator checks schedules against the model of Schedule.Validate on
+// dense scratch keyed by the graph's compiled view: per-replica input
+// arrivals live in a flat slice indexed by (replica cell, predecessor
+// slot) instead of nested maps, replica lookup is an offset table, and
+// resource-exclusion intervals are bucketed CSR-style per port and
+// link. Every table grows to the largest schedule seen and is reused,
+// so a long-lived Validator validates a stream of same-shaped schedules
+// without allocating after warm-up. It is not safe for concurrent use.
+//
+//caft:confined
+type Validator struct {
+	repOff  []int32   // task -> first (task,copy) cell; len n+1
+	repPtr  []int32   // (task,copy) cell -> index into Reps[t], or -1
+	arrOff  []int32   // task -> first arrival cell; len n+1
+	arrival []float64 // earliest input arrival per (replica cell, pred slot)
+	hasArr  []bool
+	seen    []bool // per-processor bitset (replica space exclusion)
+	ivOff   []int32
+	ivNext  []int32
+	ivs     []timeline.Interval
+	route1  [1]int // clique fast path of routeOf
+	sorter  intervalsByStart
+}
+
+// NewValidator returns an empty Validator; tables are sized lazily by
+// the first Validate call.
+func NewValidator() *Validator { return &Validator{} }
+
+// Validate runs the checks documented on Schedule.Validate. Rejection
+// paths allocate (error construction); accepting a well-formed schedule
+// allocates nothing once the scratch has warmed up.
+//
+//caft:zeroalloc
+func (v *Validator) Validate(s *Schedule) error {
 	p := s.P
-	if len(s.Reps) != p.G.NumTasks() {
-		return fmt.Errorf("schedule: %d tasks recorded, want %d", len(s.Reps), p.G.NumTasks())
+	cg, err := p.G.Compile() //caft:alloc-ok the compiled view is cached on the DAG after the first call
+	if err != nil {
+		return err
+	}
+	n := cg.NumTasks()
+	if len(s.Reps) != n {
+		return fmt.Errorf("schedule: %d tasks recorded, want %d", len(s.Reps), n) //caft:alloc-ok rejection path; the accept path allocates nothing
+	}
+	m := p.Plat.M
+	v.seen = growBool(v.seen, m)
+	for i := range v.seen {
+		v.seen[i] = false
 	}
 	for t := range s.Reps {
 		if len(s.Reps[t]) == 0 {
-			return fmt.Errorf("schedule: task %d has no replica", t)
+			return fmt.Errorf("schedule: task %d has no replica", t) //caft:alloc-ok rejection path; the accept path allocates nothing
 		}
-		seen := map[int]bool{}
 		for _, r := range s.Reps[t] {
 			if r.Task != dag.TaskID(t) {
-				return fmt.Errorf("schedule: replica of task %d filed under %d", r.Task, t)
+				return fmt.Errorf("schedule: replica of task %d filed under %d", r.Task, t) //caft:alloc-ok rejection path; the accept path allocates nothing
 			}
-			if seen[r.Proc] {
-				return fmt.Errorf("schedule: task %d has two replicas on P%d", t, r.Proc)
+			if v.seen[r.Proc] {
+				return fmt.Errorf("schedule: task %d has two replicas on P%d", t, r.Proc) //caft:alloc-ok rejection path; the accept path allocates nothing
 			}
-			seen[r.Proc] = true
+			v.seen[r.Proc] = true
 			want := p.Exec[t][r.Proc]
 			if math.Abs((r.Finish-r.Start)-want) > Eps {
-				return fmt.Errorf("schedule: replica (%d,%d) duration %v, want %v", t, r.Copy, r.Finish-r.Start, want)
+				return fmt.Errorf("schedule: replica (%d,%d) duration %v, want %v", t, r.Copy, r.Finish-r.Start, want) //caft:alloc-ok rejection path; the accept path allocates nothing
+			}
+		}
+		for _, r := range s.Reps[t] {
+			v.seen[r.Proc] = false
+		}
+	}
+	// Replica cells: one slot per (task, copy) up to each task's largest
+	// copy index, with parallel arrival cells per predecessor slot.
+	v.repOff = growI32(v.repOff, n+1)
+	v.arrOff = growI32(v.arrOff, n+1)
+	v.repOff[0], v.arrOff[0] = 0, 0
+	for t := range s.Reps {
+		maxCopy := -1
+		for _, r := range s.Reps[t] {
+			if r.Copy > maxCopy {
+				maxCopy = r.Copy
+			}
+		}
+		v.repOff[t+1] = v.repOff[t] + int32(maxCopy+1)
+		v.arrOff[t+1] = v.arrOff[t] + int32((maxCopy+1)*cg.InDegree(dag.TaskID(t)))
+	}
+	nCells := int(v.repOff[n])
+	v.repPtr = growI32(v.repPtr, nCells)
+	for i := 0; i < nCells; i++ {
+		v.repPtr[i] = -1
+	}
+	for t := range s.Reps {
+		for i, r := range s.Reps[t] {
+			if cell := int(v.repOff[t]) + r.Copy; r.Copy >= 0 && v.repPtr[cell] < 0 {
+				v.repPtr[cell] = int32(i) // first match wins, as FindReplica scans
 			}
 		}
 	}
-	// Index comms per destination replica.
-	type repKey struct {
-		t    dag.TaskID
-		copy int
+	nArr := int(v.arrOff[n])
+	v.arrival = growF64(v.arrival, nArr)
+	v.hasArr = growBool(v.hasArr, nArr)
+	for i := 0; i < nArr; i++ {
+		v.hasArr[i] = false
 	}
-	inputs := map[repKey]map[dag.TaskID]float64{} // earliest arrival per pred
-	for i, c := range s.Comms {
-		src := s.FindReplica(c.From, c.SrcCopy)
-		dst := s.FindReplica(c.To, c.DstCopy)
+	// Fold each communication into its destination's arrival cells. A
+	// predecessor with parallel edges owns several slots; all of them
+	// receive the earliest arrival from that predecessor, matching the
+	// per-predecessor (not per-edge) keying of the input rule.
+	for i := range s.Comms {
+		c := &s.Comms[i]
+		src := v.replica(s, c.From, c.SrcCopy)
+		dst := v.replica(s, c.To, c.DstCopy)
 		if src == nil || dst == nil {
-			return fmt.Errorf("schedule: comm %d references missing replica", i)
+			return fmt.Errorf("schedule: comm %d references missing replica", i) //caft:alloc-ok rejection path; the accept path allocates nothing
 		}
 		if src.Proc != c.SrcProc || dst.Proc != c.DstProc {
-			return fmt.Errorf("schedule: comm %d processor mismatch", i)
+			return fmt.Errorf("schedule: comm %d processor mismatch", i) //caft:alloc-ok rejection path; the accept path allocates nothing
 		}
 		if c.Intra {
 			if c.SrcProc != c.DstProc {
-				return fmt.Errorf("schedule: intra comm %d crosses processors", i)
+				return fmt.Errorf("schedule: intra comm %d crosses processors", i) //caft:alloc-ok rejection path; the accept path allocates nothing
 			}
 		} else if c.SrcProc == c.DstProc {
-			return fmt.Errorf("schedule: inter comm %d within P%d", i, c.SrcProc)
+			return fmt.Errorf("schedule: inter comm %d within P%d", i, c.SrcProc) //caft:alloc-ok rejection path; the accept path allocates nothing
 		}
 		if c.Start < src.Finish-Eps {
-			return fmt.Errorf("schedule: comm %d starts %v before source finish %v", i, c.Start, src.Finish)
+			return fmt.Errorf("schedule: comm %d starts %v before source finish %v", i, c.Start, src.Finish) //caft:alloc-ok rejection path; the accept path allocates nothing
 		}
-		k := repKey{c.To, c.DstCopy}
-		if inputs[k] == nil {
-			inputs[k] = map[dag.TaskID]float64{}
-		}
-		if prev, ok := inputs[k][c.From]; !ok || c.Finish < prev {
-			inputs[k][c.From] = c.Finish
+		from, _ := cg.Pred(c.To)
+		base := int(v.arrOff[c.To]) + c.DstCopy*len(from)
+		for j, f := range from {
+			if dag.TaskID(f) != c.From {
+				continue
+			}
+			cell := base + j
+			if !v.hasArr[cell] || c.Finish < v.arrival[cell] {
+				v.hasArr[cell] = true
+				v.arrival[cell] = c.Finish
+			}
 		}
 	}
 	// Every replica must have one input per predecessor by its start.
 	for t := range s.Reps {
+		from, _ := cg.Pred(dag.TaskID(t))
+		if len(from) == 0 {
+			continue
+		}
 		for _, r := range s.Reps[t] {
-			for _, e := range p.G.Pred(dag.TaskID(t)) {
-				arr, ok := inputs[repKey{dag.TaskID(t), r.Copy}][e.From]
-				if !ok {
-					return fmt.Errorf("schedule: replica (%d,%d) has no input for predecessor %d", t, r.Copy, e.From)
+			base := -1
+			if r.Copy >= 0 {
+				base = int(v.arrOff[t]) + r.Copy*len(from)
+			}
+			for j, f := range from {
+				if base < 0 || !v.hasArr[base+j] {
+					return fmt.Errorf("schedule: replica (%d,%d) has no input for predecessor %d", t, r.Copy, f) //caft:alloc-ok rejection path; the accept path allocates nothing
 				}
-				if arr > r.Start+Eps {
-					return fmt.Errorf("schedule: replica (%d,%d) starts %v before input from %d at %v", t, r.Copy, r.Start, e.From, arr)
+				if arr := v.arrival[base+j]; arr > r.Start+Eps {
+					return fmt.Errorf("schedule: replica (%d,%d) starts %v before input from %d at %v", t, r.Copy, r.Start, f, arr) //caft:alloc-ok rejection path; the accept path allocates nothing
 				}
 			}
 		}
 	}
 	if p.Model == OnePort {
-		if err := s.validateOnePort(); err != nil {
+		if err := v.validateOnePort(s); err != nil {
 			return err
 		}
 	}
-	return s.validateCompute()
+	return v.validateCompute(s)
 }
 
-func (s *Schedule) validateCompute() error {
+// replica is the dense counterpart of Schedule.FindReplica: the first
+// replica recorded as (t, copy), or nil.
+//
+//caft:zeroalloc
+func (v *Validator) replica(s *Schedule, t dag.TaskID, copy int) *Replica {
+	if copy < 0 || int32(copy) >= v.repOff[t+1]-v.repOff[t] {
+		return nil
+	}
+	i := v.repPtr[int(v.repOff[t])+copy]
+	if i < 0 {
+		return nil
+	}
+	return &s.Reps[t][i]
+}
+
+// bucketReset prepares nRes CSR interval buckets with the given counts
+// already accumulated in v.ivOff[1:nRes+1]: offsets are prefix-summed
+// and the fill cursors initialized.
+//
+//caft:zeroalloc
+func (v *Validator) bucketReset(nRes int) {
+	for r := 0; r < nRes; r++ {
+		v.ivOff[r+1] += v.ivOff[r]
+		v.ivNext[r] = v.ivOff[r]
+	}
+	v.ivs = growIv(v.ivs, int(v.ivOff[nRes]))
+}
+
+//caft:zeroalloc
+func (v *Validator) validateCompute(s *Schedule) error {
 	m := s.P.Plat.M
-	per := make([][]timeline.Interval, m)
+	v.ivOff = growI32(v.ivOff, m+1)
+	v.ivNext = growI32(v.ivNext, m)
+	for r := 0; r <= m; r++ {
+		v.ivOff[r] = 0
+	}
 	for t := range s.Reps {
 		for _, r := range s.Reps[t] {
-			per[r.Proc] = append(per[r.Proc], timeline.Interval{Start: r.Start, End: r.Finish, Owner: r.Seq})
+			v.ivOff[r.Proc+1]++
 		}
 	}
-	for proc, ivs := range per {
-		if err := nonOverlap(ivs); err != nil {
-			return fmt.Errorf("schedule: compute P%d: %w", proc, err)
+	v.bucketReset(m)
+	for t := range s.Reps {
+		for _, r := range s.Reps[t] {
+			v.ivs[v.ivNext[r.Proc]] = timeline.Interval{Start: r.Start, End: r.Finish, Owner: r.Seq}
+			v.ivNext[r.Proc]++
+		}
+	}
+	for proc := 0; proc < m; proc++ {
+		if err := v.nonOverlap(v.ivs[v.ivOff[proc]:v.ivOff[proc+1]]); err != nil {
+			return fmt.Errorf("schedule: compute P%d: %w", proc, err) //caft:alloc-ok rejection path; the accept path allocates nothing
 		}
 	}
 	return nil
 }
 
-func (s *Schedule) validateOnePort() error {
+//caft:zeroalloc
+func (v *Validator) validateOnePort(s *Schedule) error {
 	m := s.P.Plat.M
-	net := s.P.Network()
-	send := make([][]timeline.Interval, m)
-	recv := make([][]timeline.Interval, m)
-	link := make([][]timeline.Interval, net.NumLinks())
-	for _, c := range s.Comms {
+	net := s.P.Network() //caft:alloc-ok interface construction for the default clique network; amortized, not per-comm
+	// Resources: send ports [0,m), receive ports [m,2m), links [2m,..).
+	nRes := 2*m + net.NumLinks() //caft:alloc-ok interface dispatch; in-tree networks answer with pure arithmetic
+	v.ivOff = growI32(v.ivOff, nRes+1)
+	v.ivNext = growI32(v.ivNext, nRes)
+	for r := 0; r <= nRes; r++ {
+		v.ivOff[r] = 0
+	}
+	for i := range s.Comms {
+		c := &s.Comms[i]
+		if c.Intra {
+			continue
+		}
+		v.ivOff[c.SrcProc+1]++
+		v.ivOff[m+c.DstProc+1]++
+		for _, l := range v.routeOf(net, c.SrcProc, c.DstProc) {
+			v.ivOff[2*m+l+1]++
+		}
+	}
+	v.bucketReset(nRes)
+	for i := range s.Comms {
+		c := &s.Comms[i]
 		if c.Intra {
 			continue
 		}
 		iv := timeline.Interval{Start: c.Start, End: c.Finish, Owner: c.Seq}
-		send[c.SrcProc] = append(send[c.SrcProc], iv)
-		recv[c.DstProc] = append(recv[c.DstProc], iv)
-		for _, l := range net.Route(c.SrcProc, c.DstProc) {
-			link[l] = append(link[l], iv)
+		v.ivs[v.ivNext[c.SrcProc]] = iv
+		v.ivNext[c.SrcProc]++
+		v.ivs[v.ivNext[m+c.DstProc]] = iv
+		v.ivNext[m+c.DstProc]++
+		for _, l := range v.routeOf(net, c.SrcProc, c.DstProc) {
+			v.ivs[v.ivNext[2*m+l]] = iv
+			v.ivNext[2*m+l]++
 		}
 	}
-	for proc, ivs := range send {
-		if err := nonOverlap(ivs); err != nil {
-			return fmt.Errorf("schedule: send port P%d: %w", proc, err)
+	for proc := 0; proc < m; proc++ {
+		if err := v.nonOverlap(v.ivs[v.ivOff[proc]:v.ivOff[proc+1]]); err != nil {
+			return fmt.Errorf("schedule: send port P%d: %w", proc, err) //caft:alloc-ok rejection path; the accept path allocates nothing
 		}
 	}
-	for proc, ivs := range recv {
-		if err := nonOverlap(ivs); err != nil {
-			return fmt.Errorf("schedule: recv port P%d: %w", proc, err)
+	for proc := 0; proc < m; proc++ {
+		if err := v.nonOverlap(v.ivs[v.ivOff[m+proc]:v.ivOff[m+proc+1]]); err != nil {
+			return fmt.Errorf("schedule: recv port P%d: %w", proc, err) //caft:alloc-ok rejection path; the accept path allocates nothing
 		}
 	}
-	for l, ivs := range link {
-		if err := nonOverlap(ivs); err != nil {
-			return fmt.Errorf("schedule: link %d: %w", l, err)
+	for l := 0; l < nRes-2*m; l++ {
+		if err := v.nonOverlap(v.ivs[v.ivOff[2*m+l]:v.ivOff[2*m+l+1]]); err != nil {
+			return fmt.Errorf("schedule: link %d: %w", l, err) //caft:alloc-ok rejection path; the accept path allocates nothing
 		}
 	}
 	return nil
 }
 
-func nonOverlap(ivs []timeline.Interval) error {
-	sort.Slice(ivs, func(i, j int) bool { return ivs[i].Start < ivs[j].Start })
+// routeOf returns the directed links crossed by an inter-processor
+// transfer. The default clique network is special-cased onto a
+// validator-owned one-element array so the steady-state validation path
+// allocates nothing; other networks answer from their routing tables.
+//
+//caft:zeroalloc
+//caft:scratch
+func (v *Validator) routeOf(net Network, src, dst int) []int {
+	if cl, ok := net.(Clique); ok {
+		v.route1[0] = src*cl.Plat.M + dst
+		return v.route1[:]
+	}
+	return net.Route(src, dst) //caft:alloc-ok sparse-network routing tables answer here; the clique fast path above is allocation-free
+}
+
+// nonOverlap sorts one resource bucket by start time in place and
+// reports the first adjacent overlap.
+//
+//caft:zeroalloc
+func (v *Validator) nonOverlap(ivs []timeline.Interval) error {
+	v.sorter.ivs = ivs
+	sort.Sort(&v.sorter) //caft:alloc-ok pointer sorter; sort.Sort itself does not allocate
+	v.sorter.ivs = nil
 	for i := 1; i < len(ivs); i++ {
 		if ivs[i].Start < ivs[i-1].End-Eps {
-			return fmt.Errorf("intervals [%v,%v) and [%v,%v) overlap",
+			return fmt.Errorf("intervals [%v,%v) and [%v,%v) overlap", //caft:alloc-ok rejection path; the accept path allocates nothing
 				ivs[i-1].Start, ivs[i-1].End, ivs[i].Start, ivs[i].End)
 		}
 	}
 	return nil
+}
+
+// intervalsByStart sorts a bucket by interval start; a pointer receiver
+// keeps sort.Sort allocation-free.
+type intervalsByStart struct{ ivs []timeline.Interval }
+
+func (s *intervalsByStart) Len() int           { return len(s.ivs) }
+func (s *intervalsByStart) Less(i, j int) bool { return s.ivs[i].Start < s.ivs[j].Start }
+func (s *intervalsByStart) Swap(i, j int)      { s.ivs[i], s.ivs[j] = s.ivs[j], s.ivs[i] }
+
+// growI32/growF64/growBool/growIv return a slice of the requested
+// length, reusing the given backing array when it is large enough.
+//
+//caft:zeroalloc
+func growI32(s []int32, n int) []int32 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]int32, n) //caft:alloc-ok scratch warm-up; reused afterwards
+}
+
+//caft:zeroalloc
+func growF64(s []float64, n int) []float64 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]float64, n) //caft:alloc-ok scratch warm-up; reused afterwards
+}
+
+//caft:zeroalloc
+func growBool(s []bool, n int) []bool {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]bool, n) //caft:alloc-ok scratch warm-up; reused afterwards
+}
+
+//caft:zeroalloc
+func growIv(s []timeline.Interval, n int) []timeline.Interval {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]timeline.Interval, n) //caft:alloc-ok scratch warm-up; reused afterwards
 }

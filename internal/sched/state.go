@@ -30,17 +30,17 @@ import (
 //
 //caft:confined
 type State struct {
-	P     *Problem
-	net   Network
+	P   *Problem
+	net Network
 	// clique is set when net is the dense Clique network, whose
 	// Route allocates a fresh one-link slice per call; commResources
 	// computes that link inline instead, keeping probes allocation-free.
 	clique bool
 	m      int
-	tls   []timeline.Timeline
-	Reps  [][]Replica
-	Comms []Comm
-	seq   int32
+	tls    []timeline.Timeline
+	Reps   [][]Replica
+	Comms  []Comm
+	seq    int32
 
 	// Append-policy probe overlay: earliest/reserve consult ready[id]
 	// instead of the (shared, untouched) timelines.
@@ -72,6 +72,15 @@ type State struct {
 	arrival      []float64
 	pending      []pendingComm
 	commIDs      []int
+
+	// Bounded-probe scratch (see Candidates): the lazily built OFT
+	// table ranking processors per task, the candidate id/score pair
+	// under construction, and the frozen all-processors list returned
+	// when probing is unbounded.
+	oft      [][]float64
+	cands    []int
+	candSc   []float64
+	allProcs []int
 }
 
 // tlUndo is one journaled timeline mutation: a reservation to UndoAdd,
@@ -120,12 +129,15 @@ func NewState(p *Problem) *State {
 
 //caft:zeroalloc
 func (st *State) computeID(proc int) int { return proc }
+
 //caft:zeroalloc
-func (st *State) sendID(proc int) int    { return st.m + proc }
+func (st *State) sendID(proc int) int { return st.m + proc }
+
 //caft:zeroalloc
-func (st *State) recvID(proc int) int    { return 2*st.m + proc }
+func (st *State) recvID(proc int) int { return 2*st.m + proc }
+
 //caft:zeroalloc
-func (st *State) linkID(l int) int       { return 3*st.m + l }
+func (st *State) linkID(l int) int { return 3*st.m + l }
 
 // Clone deep-copies the state. Scratch buffers and the speculation
 // journal are not carried over: the clone starts with a clean journal.
@@ -287,7 +299,6 @@ func (st *State) Snapshot() *Schedule {
 // use ProcsOfCopy.
 //
 //caft:scratch safe=ProcsOfCopy
-//
 //caft:zeroalloc
 func (st *State) ProcsOf(t dag.TaskID) []bool {
 	if st.hosting == nil {
@@ -306,6 +317,88 @@ func (st *State) ProcsOf(t dag.TaskID) []bool {
 // retain across further calls on the state.
 func (st *State) ProcsOfCopy(t dag.TaskID) []bool {
 	return append([]bool(nil), st.ProcsOf(t)...)
+}
+
+// Candidates returns the processors a scheduler should probe for the
+// next replica of t, in ascending processor order. With
+// Problem.ProbeWidth <= 0 (the default) that is every processor —
+// exactly the 0..m-1 loop it replaces. With a positive width k, it is
+// the max(k, min) processors with the smallest optimistic finish time
+// OFT[t][p] (ties to the smaller processor ID): the cheapest lower
+// bound on what any placement through p can achieve, so the dropped
+// processors are the ones least likely to win a probe. min lets callers
+// that must place several replicas on distinct processors (eps+1
+// copies) keep at least that many candidates.
+//
+// The OFT table is built lazily on first bounded use and reused for the
+// lifetime of the state; it assumes an acyclic graph (Problem.Validate
+// has run) and panics otherwise.
+//
+// Aliasing contract: the returned slice is scratch owned by the state —
+// the next Candidates call on the same state overwrites it in place, so
+// it must be consumed (iterated, probed against) before any further
+// Candidates call and never retained.
+//
+//caft:scratch
+//caft:zeroalloc
+func (st *State) Candidates(t dag.TaskID, min int) []int {
+	k := st.P.ProbeWidth
+	if k > 0 && k < min {
+		k = min
+	}
+	if k <= 0 {
+		if st.allProcs == nil {
+			st.allProcs = make([]int, st.m) //caft:alloc-ok all-processors list built once per State, then reused
+			for p := range st.allProcs {
+				st.allProcs[p] = p
+			}
+		}
+		return st.allProcs
+	}
+	if k > st.m {
+		k = st.m
+	}
+	if st.oft == nil {
+		oft, err := OFT(st.P) //caft:alloc-ok OFT ranking table built once per State on the first bounded probe, then reused
+		if err != nil {
+			panic(err)
+		}
+		st.oft = oft
+		st.cands = make([]int, 0, st.m)      //caft:alloc-ok candidate scratch sized once per State, then reused
+		st.candSc = make([]float64, 0, st.m) //caft:alloc-ok candidate scratch sized once per State, then reused
+	}
+	// Keep the k best (score, proc) pairs in ascending score order via
+	// bounded insertion; scanning processors in ascending ID order makes
+	// the tie break (first wins) deterministic.
+	cands := st.cands[:0]
+	scores := st.candSc[:0]
+	row := st.oft[t]
+	for proc := 0; proc < st.m; proc++ {
+		sc := row[proc]
+		if len(cands) == k {
+			if sc >= scores[k-1] {
+				continue
+			}
+			cands, scores = cands[:k-1], scores[:k-1]
+		}
+		i := len(cands)
+		cands = append(cands, 0)
+		scores = append(scores, 0)
+		for ; i > 0 && scores[i-1] > sc; i-- {
+			cands[i], scores[i] = cands[i-1], scores[i-1]
+		}
+		cands[i], scores[i] = proc, sc
+	}
+	// Probe order is ascending processor ID, matching the full loop, so
+	// bounding the set never reorders probes (k = m is bit-identical to
+	// unbounded).
+	for i := 1; i < len(cands); i++ {
+		for j := i; j > 0 && cands[j] < cands[j-1]; j-- {
+			cands[j], cands[j-1] = cands[j-1], cands[j]
+		}
+	}
+	st.cands, st.candSc = cands, scores
+	return cands
 }
 
 // SourceSet names, for one predecessor edge of the task being placed,
@@ -364,7 +457,6 @@ func (st *State) commonSlot(ready, dur float64, ids []int) float64 {
 // The returned slice is scratch reused by the next call.
 //
 //caft:scratch
-//
 //caft:zeroalloc
 func (st *State) commResources(src, dst int) []int {
 	ids := append(st.commIDs[:0], st.sendID(src), st.recvID(dst))

@@ -1,0 +1,187 @@
+package sched
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"caft/internal/dag"
+	"caft/internal/gen"
+	"caft/internal/platform"
+	"caft/internal/timeline"
+)
+
+// greedySchedule places every task (topological order) on the processor
+// minimizing its finish time — a minimal HEFT-like builder that keeps
+// these tests independent of the scheduler packages (which import this
+// one).
+func greedySchedule(t *testing.T, p *Problem) *Schedule {
+	t.Helper()
+	c, err := p.G.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := NewState(p)
+	for _, task := range c.Topo() {
+		tid := dag.TaskID(task)
+		sources := st.FullSources(tid)
+		best, bestFin := -1, 0.0
+		for proc := 0; proc < p.Plat.M; proc++ {
+			rep, err := st.ProbeReplica(tid, 0, proc, sources)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if best < 0 || rep.Finish < bestFin {
+				best, bestFin = proc, rep.Finish
+			}
+		}
+		if _, err := st.PlaceReplica(tid, 0, best, sources); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return st.Snapshot()
+}
+
+// randomValidatorProblem builds a random layered problem for the
+// validator tests.
+func randomValidatorProblem(rng *rand.Rand, v, m int) *Problem {
+	params := gen.RandomParams{MinTasks: v, MaxTasks: v, MinDegree: 1, MaxDegree: 3, MinVolume: 50, MaxVolume: 150}
+	g := gen.RandomLayered(rng, params)
+	plat := platform.NewRandom(rng, m, 0.5, 1.0)
+	exec := platform.GenExecForGranularity(rng, g, plat, 1.0, platform.DefaultHeterogeneity)
+	return &Problem{G: g, Plat: plat, Exec: exec, Model: OnePort, Policy: timeline.Append}
+}
+
+// TestValidatorReuseAcrossSchedules runs one Validator over a stream of
+// schedules of different shapes: every well-formed schedule is accepted
+// and no state leaks between calls.
+func TestValidatorReuseAcrossSchedules(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	v := NewValidator()
+	for trial := 0; trial < 8; trial++ {
+		p := randomValidatorProblem(rng, 15+rng.Intn(25), 2+rng.Intn(5))
+		s := greedySchedule(t, p)
+		if err := v.Validate(s); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("trial %d (fresh validator): %v", trial, err)
+		}
+	}
+}
+
+// TestValidatorRejects pins the rejection messages of the dense
+// validator on hand-corrupted schedules.
+func TestValidatorRejects(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	p := randomValidatorProblem(rng, 20, 4)
+	base := greedySchedule(t, p)
+
+	corrupt := func(mutate func(*Schedule)) error {
+		s := &Schedule{P: p, Reps: make([][]Replica, len(base.Reps)), Comms: append([]Comm(nil), base.Comms...)}
+		for i := range base.Reps {
+			s.Reps[i] = append([]Replica(nil), base.Reps[i]...)
+		}
+		mutate(s)
+		return s.Validate()
+	}
+
+	cases := []struct {
+		name   string
+		mutate func(*Schedule)
+		want   string
+	}{
+		{"missing replica", func(s *Schedule) { s.Reps[3] = nil }, "has no replica"},
+		{"duplicate processor", func(s *Schedule) {
+			r := s.Reps[3][0]
+			r.Copy = 1
+			s.Reps[3] = append(s.Reps[3], r)
+		}, "has two replicas on"},
+		{"bad duration", func(s *Schedule) { s.Reps[3][0].Finish += 5 }, "duration"},
+		{"dangling comm", func(s *Schedule) {
+			if len(s.Comms) == 0 {
+				t.Fatal("fixture produced no communications")
+			}
+			s.Comms[0].SrcCopy = 7
+		}, "references missing replica"},
+		{"early start", func(s *Schedule) {
+			// Move a late replica to time zero, preserving its duration:
+			// depending on what delayed it this violates the input-arrival
+			// rule or an exclusion constraint, but something must fire.
+			for ti := range s.Reps {
+				if r := &s.Reps[ti][0]; r.Start > 0 {
+					d := r.Finish - r.Start
+					r.Start = 0
+					r.Finish = d
+					return
+				}
+			}
+			t.Fatal("fixture has no delayed replica")
+		}, ""},
+	}
+	for _, tc := range cases {
+		err := corrupt(tc.mutate)
+		if err == nil {
+			t.Fatalf("%s: corrupted schedule accepted", tc.name)
+		}
+		if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestValidatorAllocPin pins the steady state: after one warm-up pass, a
+// reused Validator accepts a same-shaped schedule without allocating —
+// the dense replacement for the nested maps the validator used to build
+// per call.
+func TestValidatorAllocPin(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	p := randomValidatorProblem(rng, 40, 5)
+	s := greedySchedule(t, p)
+	v := NewValidator()
+	if err := v.Validate(s); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if err := v.Validate(s); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state validation allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// BenchmarkValidate measures a reused Validator over a mid-sized
+// one-port schedule.
+func BenchmarkValidate(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	params := gen.RandomParams{MinTasks: 1000, MaxTasks: 1000, MinDegree: 1, MaxDegree: 3, MinVolume: 50, MaxVolume: 150}
+	g := gen.RandomLayered(rng, params)
+	plat := platform.NewRandom(rng, 8, 0.5, 1.0)
+	exec := platform.GenExecForGranularity(rng, g, plat, 1.0, platform.DefaultHeterogeneity)
+	p := &Problem{G: g, Plat: plat, Exec: exec, Model: OnePort, Policy: timeline.Append}
+	c, err := g.Compile()
+	if err != nil {
+		b.Fatal(err)
+	}
+	st := NewState(p)
+	for _, task := range c.Topo() {
+		tid := dag.TaskID(task)
+		if _, err := st.PlaceReplica(tid, 0, int(task)%8, st.FullSources(tid)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	s := st.Snapshot()
+	v := NewValidator()
+	if err := v.Validate(s); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := v.Validate(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

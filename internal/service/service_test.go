@@ -123,25 +123,28 @@ func TestValidationRejects(t *testing.T) {
 	svc := New(Config{Workers: 1})
 	defer svc.Close()
 	mutations := map[string]func(*Request){
-		"unknown alg":           func(r *Request) { r.Alg = "lpt" },
-		"negative eps":          func(r *Request) { r.Eps = -1 },
-		"heft with eps":         func(r *Request) { r.Alg = "heft"; r.Eps = 2 },
-		"unknown policy":        func(r *Request) { r.Policy = "fifo" },
-		"unknown model":         func(r *Request) { r.Model = "wormhole" },
-		"no graph":              func(r *Request) { r.Generator = nil },
-		"both graphs":           func(r *Request) { r.DAG = &testDAG },
-		"bad generator":         func(r *Request) { r.Generator.Kind = "nosuch" },
-		"no processors":         func(r *Request) { r.Platform.M = 0 },
-		"bad delay range":       func(r *Request) { r.Platform = PlatformSpec{M: 4, DelayLo: 1, DelayHi: 0.5} },
-		"delay conflict":        func(r *Request) { r.Platform = PlatformSpec{M: 4, Delay: 1, DelayLo: 0.5, DelayHi: 1} },
-		"bad topology shape":    func(r *Request) { r.Topology = &TopologySpec{Shape: "clique"} },
-		"topology size":         func(r *Request) { r.Topology = &TopologySpec{Shape: "mesh", Rows: 3, Cols: 3} },
-		"hypercube size":        func(r *Request) { r.Topology = &TopologySpec{Shape: "hypercube", K: 3} },
-		"negative granularity":  func(r *Request) { r.Granularity = -1 },
-		"huge graph":            func(r *Request) { r.Generator = &gen.Spec{Kind: "chain", N: 2_000_000_000} },
-		"huge fft":              func(r *Request) { r.Generator = &gen.Spec{Kind: "fft", N: 62} },
-		"huge platform":         func(r *Request) { r.Platform = PlatformSpec{M: 1 << 20, Delay: 1} },
-		"matrix cells":          func(r *Request) { r.Generator = &gen.Spec{Kind: "chain", N: 100_000}; r.Platform = PlatformSpec{M: 1 << 10, Delay: 1} },
+		"unknown alg":          func(r *Request) { r.Alg = "lpt" },
+		"negative eps":         func(r *Request) { r.Eps = -1 },
+		"heft with eps":        func(r *Request) { r.Alg = "heft"; r.Eps = 2 },
+		"unknown policy":       func(r *Request) { r.Policy = "fifo" },
+		"unknown model":        func(r *Request) { r.Model = "wormhole" },
+		"no graph":             func(r *Request) { r.Generator = nil },
+		"both graphs":          func(r *Request) { r.DAG = &testDAG },
+		"bad generator":        func(r *Request) { r.Generator.Kind = "nosuch" },
+		"no processors":        func(r *Request) { r.Platform.M = 0 },
+		"bad delay range":      func(r *Request) { r.Platform = PlatformSpec{M: 4, DelayLo: 1, DelayHi: 0.5} },
+		"delay conflict":       func(r *Request) { r.Platform = PlatformSpec{M: 4, Delay: 1, DelayLo: 0.5, DelayHi: 1} },
+		"bad topology shape":   func(r *Request) { r.Topology = &TopologySpec{Shape: "clique"} },
+		"topology size":        func(r *Request) { r.Topology = &TopologySpec{Shape: "mesh", Rows: 3, Cols: 3} },
+		"hypercube size":       func(r *Request) { r.Topology = &TopologySpec{Shape: "hypercube", K: 3} },
+		"negative granularity": func(r *Request) { r.Granularity = -1 },
+		"huge graph":           func(r *Request) { r.Generator = &gen.Spec{Kind: "chain", N: 2_000_000_000} },
+		"huge fft":             func(r *Request) { r.Generator = &gen.Spec{Kind: "fft", N: 62} },
+		"huge platform":        func(r *Request) { r.Platform = PlatformSpec{M: 1 << 20, Delay: 1} },
+		"matrix cells": func(r *Request) {
+			r.Generator = &gen.Spec{Kind: "chain", N: 100_000}
+			r.Platform = PlatformSpec{M: 1 << 10, Delay: 1}
+		},
 		"zero samples":          func(r *Request) { r.Reliability.Samples = 0 },
 		"no mtbf":               func(r *Request) { r.Reliability.MTBF = 0 },
 		"bad failure kind":      func(r *Request) { r.Reliability.Kind = "lognormal" },

@@ -609,7 +609,7 @@ func (r *Request) hash() hashKey {
 		g := r.DAG
 		h.int(g.NumTasks())
 		for t := 0; t < g.NumTasks(); t++ {
-			h.str(g.Name(dag.TaskID(t)))
+			h.taskName(g, dag.TaskID(t))
 			succ := g.Succ(dag.TaskID(t))
 			h.int(len(succ))
 			for _, e := range succ {
@@ -752,9 +752,11 @@ func (d *digest) u64(v uint64) {
 }
 
 //caft:zeroalloc
-func (d *digest) int(v int)     { d.u64(uint64(int64(v))) }
+func (d *digest) int(v int) { d.u64(uint64(int64(v))) }
+
 //caft:zeroalloc
-func (d *digest) i64(v int64)   { d.u64(uint64(v)) }
+func (d *digest) i64(v int64) { d.u64(uint64(v)) }
+
 //caft:zeroalloc
 func (d *digest) f64(v float64) { d.u64(math.Float64bits(v)) }
 
@@ -763,6 +765,35 @@ func (d *digest) str(s string) {
 	d.u64(uint64(len(s)))
 	for i := 0; i < len(s); i++ {
 		d.byte(s[i])
+	}
+}
+
+// taskName streams g's name for t, byte-identical to str(g.Name(t)).
+// Generated "t<id>" names (dag.New materializes them lazily, one
+// allocation per Name call) are formatted into a stack buffer instead,
+// keeping the cache-hit hash path allocation-free for inline DAGs too.
+//
+//caft:zeroalloc
+func (d *digest) taskName(g *dag.DAG, t dag.TaskID) {
+	if !g.GeneratedName(t) {
+		d.str(g.Name(t)) //caft:alloc-ok explicit names return the stored string; only the generated path would materialize
+		return
+	}
+	var buf [20]byte
+	i := len(buf)
+	v := int(t)
+	for {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+		if v == 0 {
+			break
+		}
+	}
+	d.u64(uint64(1 + (len(buf) - i)))
+	d.byte('t')
+	for ; i < len(buf); i++ {
+		d.byte(buf[i])
 	}
 }
 

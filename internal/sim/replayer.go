@@ -24,7 +24,7 @@ import (
 //caft:confined
 type Replayer struct {
 	s     *sched.Schedule
-	order []dag.TaskID // topological task order
+	order []int32 // topological task order (the compiled view's Topo)
 
 	// ops lists every replica (in Schedule.Reps iteration order) followed
 	// by every communication (in Schedule.Comms order). alive, start and
@@ -55,14 +55,14 @@ type Replayer struct {
 
 const noOp = int32(-1)
 
-// NewReplayer builds the static replay tables for s.
+// NewReplayer builds the static replay tables for s over the graph's
+// compiled view.
 func NewReplayer(s *sched.Schedule) (*Replayer, error) {
-	g := s.P.G
-	order, err := g.TopoOrder()
+	cg, err := s.P.G.Compile()
 	if err != nil {
 		return nil, err
 	}
-	r := &Replayer{s: s, order: order}
+	r := &Replayer{s: s, order: cg.Topo()}
 
 	// Operation table: replicas first, then communications.
 	r.nRep = s.ReplicaCount()
@@ -98,7 +98,7 @@ func NewReplayer(s *sched.Schedule) (*Replayer, error) {
 	for t := range s.Reps {
 		for _, rep := range s.Reps[t] {
 			ri := r.repOf[t][rep.Copy]
-			r.inBase[ri+1] = int32(len(g.Pred(dag.TaskID(t))))
+			r.inBase[ri+1] = int32(cg.InDegree(dag.TaskID(t)))
 		}
 	}
 	for i := 1; i < len(r.inBase); i++ {
@@ -111,8 +111,9 @@ func NewReplayer(s *sched.Schedule) (*Replayer, error) {
 		if ri < 0 {
 			return
 		}
-		for j, e := range g.Pred(c.To) {
-			if e.From == c.From {
+		from, _ := cg.Pred(c.To)
+		for j, f := range from {
+			if dag.TaskID(f) == c.From {
 				add(r.inBase[ri] + int32(j))
 			}
 		}
@@ -216,7 +217,7 @@ func (r *Replayer) setCrashed(crashed map[int]bool) {
 //
 //caft:zeroalloc
 func (r *Replayer) run(sem Semantics, dead []bool) error {
-	s, g := r.s, r.s.P.G
+	s := r.s
 	ops := r.ops
 
 	for i := range ops {
@@ -231,10 +232,9 @@ func (r *Replayer) run(sem Semantics, dead []bool) error {
 			ri := r.repOf[t][rep.Copy]
 			alive := !r.crashed[rep.Proc] && (dead == nil || !dead[ri])
 			if alive {
-				base := r.inBase[ri]
-				for j := range g.Pred(t) {
+				// One slot per predecessor edge, straight off the input CSR.
+				for sl := r.inBase[ri]; sl < r.inBase[ri+1]; sl++ {
 					ok := false
-					sl := base + int32(j)
 					for _, ci := range r.inAdj[r.inOff[sl]:r.inOff[sl+1]] {
 						c := &ops[ci].comm
 						si := r.srcOf[ci-int32(r.nRep)]

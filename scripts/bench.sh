@@ -23,14 +23,17 @@ cd "$(dirname "$0")/.."
 COUNT="${COUNT:-10}"
 BASELINE="scripts/bench-baseline.txt"
 
-# The benchmarks behind the zero-alloc claims: the replay inner loop
-# and the caftd cache-hit path. BenchmarkServeMiss rides along as the
-# contrast column (one real scheduling run; it allocates, and should).
-BENCH='^(BenchmarkReplay|BenchmarkServeCached|BenchmarkServeMiss)$'
-PKGS="./internal/sim ./internal/service"
+# The benchmarks behind the zero-alloc claims: the replay inner loop,
+# the caftd cache-hit path, and the compiled-view layers — DAG
+# compilation, incremental rank maintenance (Reset/Repair), bounded
+# candidate selection and dense schedule validation. BenchmarkServeMiss
+# and BenchmarkCompile ride along as contrast columns (they allocate,
+# and should); the Rank/Candidates/Validate steady states must not.
+BENCH='^(BenchmarkReplay|BenchmarkServeCached|BenchmarkServeMiss|BenchmarkCompile|BenchmarkRankReset|BenchmarkRankRepair|BenchmarkCandidates|BenchmarkValidate)$'
+PKGS="./internal/sim ./internal/service ./internal/dag ./internal/sched"
 
 echo "== alloc-pin tests" >&2
-go test -run 'AllocPin|ProcsOfScratch' ./internal/sched ./internal/online >&2
+go test -run 'AllocPin|ProcsOfScratch' ./internal/sched ./internal/online ./internal/dag >&2
 
 echo "== benchmarks (-benchmem -count=$COUNT)" >&2
 tmp="$(mktemp)"
