@@ -9,9 +9,21 @@
 // requests are collapsed, so serving the same problem twice does no
 // scheduling work; see internal/service and DESIGN.md S6.
 //
+// With -disk the cache gains a persistent tier: successful responses
+// are appended to segment files and reloaded on start, so a restarted
+// daemon answers its old keyspace byte-identically without
+// recomputing. With -self/-peers N daemons form a cluster: each node
+// owns a consistent-hash range of the keyspace and forwards non-owned
+// /schedule requests to their owner (one internal hop), so the cluster
+// shares one effective cache. -admit-max bounds the computes a node
+// accepts at once; past it, requests are shed with 429 + Retry-After.
+// See DESIGN.md S12.
+//
 // Usage:
 //
 //	caftd [-addr :8080] [-workers 0] [-mc-workers 0] [-cache-max 65536]
+//	      [-disk DIR] [-self host:port -peers host1:p1,host2:p2,...]
+//	      [-admit-max 0] [-peer-timeout 60s]
 //
 // Endpoints:
 //
@@ -33,6 +45,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -62,20 +75,50 @@ var defaultTimeouts = timeouts{readHeader: 5 * time.Second, read: 60 * time.Seco
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		workers   = flag.Int("workers", 0, "scheduling worker pool size (0 = all cores); never affects response bytes")
-		mcWorkers = flag.Int("mc-workers", 0, "reliability Monte-Carlo batch workers (0 = all cores); never affects response bytes")
-		cacheMax  = flag.Int("cache-max", 65536, "max cached responses (0 = unbounded)")
-		to        = defaultTimeouts
+		addr        = flag.String("addr", ":8080", "listen address")
+		workers     = flag.Int("workers", 0, "scheduling worker pool size (0 = all cores); never affects response bytes")
+		mcWorkers   = flag.Int("mc-workers", 0, "reliability Monte-Carlo batch workers (0 = all cores); never affects response bytes")
+		cacheMax    = flag.Int("cache-max", 65536, "max in-memory cached responses (0 = unbounded)")
+		admitMax    = flag.Int("admit-max", 0, "max computes admitted at once, queued included (0 = unbounded); past it requests are shed with 429")
+		diskDir     = flag.String("disk", "", "persistent cache directory (empty = memory only); a restarted daemon re-serves persisted responses byte-identically")
+		self        = flag.String("self", "", "this node's advertised host:port in the cluster (required with -peers)")
+		peerList    = flag.String("peers", "", "comma-separated host:port list of every cluster member, -self included (empty = single node)")
+		peerTimeout = flag.Duration("peer-timeout", 60*time.Second, "end-to-end deadline for one forwarded request")
+		to          = defaultTimeouts
 	)
 	flag.DurationVar(&to.readHeader, "read-header-timeout", to.readHeader, "max wait for a complete request header (slowloris guard)")
 	flag.DurationVar(&to.read, "read-timeout", to.read, "max wait for a complete request")
 	flag.DurationVar(&to.idle, "idle-timeout", to.idle, "max keep-alive idle time between requests")
 	flag.Parse()
-	if err := run(*addr, *workers, *mcWorkers, *cacheMax, to); err != nil {
+	cfg := service.Config{
+		Workers:     *workers,
+		MCWorkers:   *mcWorkers,
+		CacheMax:    *cacheMax,
+		AdmitMax:    *admitMax,
+		DiskDir:     *diskDir,
+		Self:        *self,
+		Peers:       splitPeers(*peerList),
+		PeerTimeout: *peerTimeout,
+	}
+	if err := run(*addr, cfg, to); err != nil {
 		fmt.Fprintln(os.Stderr, "caftd:", err)
 		os.Exit(1)
 	}
+}
+
+// splitPeers parses the -peers list; empty means single-node.
+func splitPeers(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	peers := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			peers = append(peers, p)
+		}
+	}
+	return peers
 }
 
 // newServer builds the daemon's http.Server with its connection
@@ -92,17 +135,29 @@ func newServer(addr string, svc *service.Service, to timeouts) *http.Server {
 }
 
 // run serves until SIGINT/SIGTERM, then drains in-flight requests.
-func run(addr string, workers, mcWorkers, cacheMax int, to timeouts) error {
-	if workers < 0 || mcWorkers < 0 {
+func run(addr string, cfg service.Config, to timeouts) error {
+	if cfg.Workers < 0 || cfg.MCWorkers < 0 {
 		return fmt.Errorf("worker counts must be non-negative")
 	}
-	if cacheMax < 0 {
-		return fmt.Errorf("-cache-max must be non-negative, got %d", cacheMax)
+	if cfg.CacheMax < 0 {
+		return fmt.Errorf("-cache-max must be non-negative, got %d", cfg.CacheMax)
+	}
+	if cfg.AdmitMax < 0 {
+		return fmt.Errorf("-admit-max must be non-negative, got %d", cfg.AdmitMax)
+	}
+	if len(cfg.Peers) > 0 && cfg.Self == "" {
+		return fmt.Errorf("-peers requires -self")
+	}
+	if cfg.Self != "" && len(cfg.Peers) == 0 {
+		return fmt.Errorf("-self requires -peers")
 	}
 	if to.readHeader <= 0 || to.read <= 0 || to.idle <= 0 {
 		return fmt.Errorf("server timeouts must be positive, got %+v", to)
 	}
-	svc := service.New(service.Config{Workers: workers, MCWorkers: mcWorkers, CacheMax: cacheMax})
+	svc, err := service.New(cfg)
+	if err != nil {
+		return err
+	}
 	defer svc.Close()
 	srv := newServer(addr, svc, to)
 

@@ -24,7 +24,10 @@ var update = flag.Bool("update", false, "rewrite the golden files from current o
 
 func startServer(t *testing.T, cfg service.Config) *httptest.Server {
 	t.Helper()
-	svc := service.New(cfg)
+	svc, err := service.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	srv := httptest.NewServer(service.NewHandler(svc))
 	t.Cleanup(func() { srv.Close(); svc.Close() })
 	return srv
@@ -267,17 +270,45 @@ func TestHOFTServable(t *testing.T) {
 }
 
 func TestRunRejectsBadFlags(t *testing.T) {
-	if err := run(":0", -1, 0, 0, defaultTimeouts); err == nil {
+	if err := run(":0", service.Config{Workers: -1}, defaultTimeouts); err == nil {
 		t.Error("negative -workers accepted")
 	}
-	if err := run(":0", 0, -2, 0, defaultTimeouts); err == nil {
+	if err := run(":0", service.Config{MCWorkers: -2}, defaultTimeouts); err == nil {
 		t.Error("negative -mc-workers accepted")
 	}
-	if err := run(":0", 0, 0, -1, defaultTimeouts); err == nil {
+	if err := run(":0", service.Config{CacheMax: -1}, defaultTimeouts); err == nil {
 		t.Error("negative -cache-max accepted")
 	}
-	if err := run(":0", 0, 0, 0, timeouts{}); err == nil {
+	if err := run(":0", service.Config{AdmitMax: -1}, defaultTimeouts); err == nil {
+		t.Error("negative -admit-max accepted")
+	}
+	if err := run(":0", service.Config{Peers: []string{"a:1"}}, defaultTimeouts); err == nil {
+		t.Error("-peers without -self accepted")
+	}
+	if err := run(":0", service.Config{Self: "a:1"}, defaultTimeouts); err == nil {
+		t.Error("-self without -peers accepted")
+	}
+	if err := run(":0", service.Config{Self: "c:3", Peers: []string{"a:1", "b:2"}}, defaultTimeouts); err == nil {
+		t.Error("-self outside -peers accepted")
+	}
+	if err := run(":0", service.Config{}, timeouts{}); err == nil {
 		t.Error("zero server timeouts accepted")
+	}
+}
+
+func TestSplitPeers(t *testing.T) {
+	if got := splitPeers(""); got != nil {
+		t.Errorf("splitPeers(\"\") = %v, want nil", got)
+	}
+	got := splitPeers(" a:1, b:2 ,,c:3 ")
+	want := []string{"a:1", "b:2", "c:3"}
+	if len(got) != len(want) {
+		t.Fatalf("splitPeers = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("splitPeers = %v, want %v", got, want)
+		}
 	}
 }
 
@@ -288,7 +319,10 @@ func TestRunRejectsBadFlags(t *testing.T) {
 // (newServer), not a bare httptest handler, so the configured deadlines
 // are what is under test.
 func TestSlowHeaderClientDisconnected(t *testing.T) {
-	svc := service.New(service.Config{Workers: 1})
+	svc, err := service.New(service.Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer svc.Close()
 	srv := newServer("127.0.0.1:0", svc, timeouts{
 		readHeader: 150 * time.Millisecond,

@@ -1,0 +1,302 @@
+// Command caftload is the load generator for caftd clusters: it drives
+// a zipf-skewed stream of scheduling requests — the skew models real
+// workloads, where a few popular problems dominate — against one or
+// more nodes and reports what the cluster actually delivered: client
+// hit rate (from per-node /statsz deltas), latency quantiles, shed and
+// timeout counts, and whether every response for a given problem was
+// byte-identical no matter which node served it.
+//
+// Usage:
+//
+//	caftload -targets host1:8080,host2:8080 [-n 1000000] [-conc 256]
+//	         [-problems 1000] [-zipf 1.1] [-seed 1] [-timeout 30s]
+//
+// Requests are pre-marshaled before the clock starts, so the generator
+// measures the cluster, not encoding/json. The exit status is non-zero
+// if any problem ever received two different response bodies — with
+// deterministic scheduling that must never happen, restarts and
+// forwarding included.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"caft/internal/gen"
+	"caft/internal/service"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "caftload:", err)
+		os.Exit(1)
+	}
+}
+
+// loadConfig is the parsed flag set.
+type loadConfig struct {
+	targets  []string
+	n        int
+	conc     int
+	problems int
+	zipfS    float64
+	seed     int64
+	timeout  time.Duration
+}
+
+// counters aggregates worker outcomes; all fields are atomics so the
+// hot loop never contends on a mutex.
+type counters struct {
+	ok        atomic.Int64
+	shed      atomic.Int64 // HTTP 429
+	timeouts  atomic.Int64 // client-side deadline / transport errors
+	httpErr   atomic.Int64 // any other non-200
+	mismatch  atomic.Int64 // byte-identity violations
+	bytesRead atomic.Int64
+}
+
+func parseFlags(args []string) (loadConfig, error) {
+	fs := flag.NewFlagSet("caftload", flag.ContinueOnError)
+	var (
+		targets  = fs.String("targets", "", "comma-separated host:port list of caftd nodes to drive (required)")
+		n        = fs.Int("n", 1_000_000, "total requests to send")
+		conc     = fs.Int("conc", 256, "concurrent client workers")
+		problems = fs.Int("problems", 1000, "distinct problems in the pool (zipf-sampled)")
+		zipfS    = fs.Float64("zipf", 1.1, "zipf skew parameter s (> 1); larger = hotter head")
+		seed     = fs.Int64("seed", 1, "RNG seed for problem generation and sampling")
+		timeout  = fs.Duration("timeout", 30*time.Second, "per-request client deadline")
+	)
+	if err := fs.Parse(args); err != nil {
+		return loadConfig{}, err
+	}
+	cfg := loadConfig{
+		n: *n, conc: *conc, problems: *problems,
+		zipfS: *zipfS, seed: *seed, timeout: *timeout,
+	}
+	for _, t := range strings.Split(*targets, ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			cfg.targets = append(cfg.targets, t)
+		}
+	}
+	switch {
+	case len(cfg.targets) == 0:
+		return cfg, fmt.Errorf("-targets is required")
+	case cfg.n <= 0 || cfg.conc <= 0 || cfg.problems <= 0:
+		return cfg, fmt.Errorf("-n, -conc and -problems must be positive")
+	case cfg.zipfS <= 1:
+		return cfg, fmt.Errorf("-zipf must be > 1, got %g", cfg.zipfS)
+	case cfg.timeout <= 0:
+		return cfg, fmt.Errorf("-timeout must be positive")
+	}
+	if cfg.conc > cfg.n {
+		cfg.conc = cfg.n
+	}
+	return cfg, nil
+}
+
+// buildBodies pre-marshals the problem pool: seed-varied montage
+// workflows scheduled by CAFT, no Monte-Carlo stage, so the compute is
+// cheap enough to run a million requests and the response bytes are a
+// pure function of the seed.
+func buildBodies(cfg loadConfig) ([][]byte, error) {
+	bodies := make([][]byte, cfg.problems)
+	for i := range bodies {
+		req := &service.Request{
+			Alg:       "caft",
+			Eps:       1,
+			Seed:      cfg.seed + int64(i),
+			Generator: &gen.Spec{Kind: "montage", N: 4, Volume: 100},
+			Platform:  service.PlatformSpec{M: 4, Delay: 0.75},
+		}
+		b, err := json.Marshal(req)
+		if err != nil {
+			return nil, err
+		}
+		bodies[i] = b
+	}
+	return bodies, nil
+}
+
+// fetchStats reads /statsz from every target; nil for unreachable
+// nodes (tolerated so a mid-run restart test can still report).
+func fetchStats(targets []string, timeout time.Duration) []*service.StatsSnapshot {
+	client := &http.Client{Timeout: timeout}
+	out := make([]*service.StatsSnapshot, len(targets))
+	for i, t := range targets {
+		resp, err := client.Get("http://" + t + "/statsz")
+		if err != nil {
+			continue
+		}
+		var st service.StatsSnapshot
+		if json.NewDecoder(resp.Body).Decode(&st) == nil {
+			out[i] = &st
+		}
+		resp.Body.Close()
+	}
+	return out
+}
+
+func run(args []string, stdout io.Writer) error {
+	cfg, err := parseFlags(args)
+	if err != nil {
+		return err
+	}
+	bodies, err := buildBodies(cfg)
+	if err != nil {
+		return err
+	}
+
+	// Byte-identity ledger: the first response for problem i pins its
+	// FNV-64a fingerprint; every later response must match, whichever
+	// node (or node incarnation) served it. 0 means "not yet pinned" —
+	// an FNV collision with 0 is vanishingly unlikely and would only
+	// cost one false re-pin.
+	fingerprints := make([]atomic.Uint64, cfg.problems)
+
+	before := fetchStats(cfg.targets, cfg.timeout)
+
+	transport := &http.Transport{
+		MaxIdleConns:        cfg.conc * 2,
+		MaxIdleConnsPerHost: cfg.conc,
+	}
+	client := &http.Client{Transport: transport, Timeout: cfg.timeout}
+	defer transport.CloseIdleConnections()
+
+	var cnt counters
+	latencies := make([][]float64, cfg.conc)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < cfg.conc; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Per-worker RNG: zipf sampling is not safe for concurrent
+			// use, and distinct streams keep the aggregate skew intact.
+			rng := rand.New(rand.NewSource(cfg.seed + int64(w)*7919))
+			zipf := rand.NewZipf(rng, cfg.zipfS, 1, uint64(cfg.problems-1))
+			lats := make([]float64, 0, cfg.n/cfg.conc+1)
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(cfg.n) {
+					break
+				}
+				p := int(zipf.Uint64())
+				target := cfg.targets[int(i)%len(cfg.targets)]
+				t0 := time.Now()
+				resp, err := client.Post("http://"+target+"/schedule", "application/json",
+					bytes.NewReader(bodies[p]))
+				if err != nil {
+					cnt.timeouts.Add(1)
+					continue
+				}
+				raw, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					cnt.timeouts.Add(1)
+					continue
+				}
+				lats = append(lats, time.Since(t0).Seconds())
+				switch {
+				case resp.StatusCode == http.StatusTooManyRequests:
+					cnt.shed.Add(1)
+					continue
+				case resp.StatusCode != http.StatusOK:
+					cnt.httpErr.Add(1)
+					continue
+				}
+				cnt.ok.Add(1)
+				cnt.bytesRead.Add(int64(len(raw)))
+				h := fnv.New64a()
+				h.Write(raw)
+				sum := h.Sum64()
+				if !fingerprints[p].CompareAndSwap(0, sum) && fingerprints[p].Load() != sum {
+					cnt.mismatch.Add(1)
+				}
+			}
+			latencies[w] = lats
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	after := fetchStats(cfg.targets, cfg.timeout)
+	report(stdout, cfg, &cnt, latencies, elapsed, before, after)
+	if m := cnt.mismatch.Load(); m > 0 {
+		return fmt.Errorf("%d responses were not byte-identical across serves", m)
+	}
+	return nil
+}
+
+func report(w io.Writer, cfg loadConfig, cnt *counters, latencies [][]float64,
+	elapsed time.Duration, before, after []*service.StatsSnapshot) {
+	var all []float64
+	for _, l := range latencies {
+		all = append(all, l...)
+	}
+	sort.Float64s(all)
+	pct := func(q float64) float64 {
+		if len(all) == 0 {
+			return 0
+		}
+		i := int(q * float64(len(all)))
+		if i >= len(all) {
+			i = len(all) - 1
+		}
+		return all[i] * 1e3
+	}
+
+	ok, shed, to, herr := cnt.ok.Load(), cnt.shed.Load(), cnt.timeouts.Load(), cnt.httpErr.Load()
+	fmt.Fprintf(w, "caftload: %d requests, %d problems (zipf s=%g), %d workers, %d targets\n",
+		cfg.n, cfg.problems, cfg.zipfS, cfg.conc, len(cfg.targets))
+	fmt.Fprintf(w, "  elapsed     %.2fs (%.0f req/s)\n", elapsed.Seconds(), float64(cfg.n)/elapsed.Seconds())
+	fmt.Fprintf(w, "  ok          %d\n", ok)
+	fmt.Fprintf(w, "  shed(429)   %d\n", shed)
+	fmt.Fprintf(w, "  timeouts    %d\n", to)
+	fmt.Fprintf(w, "  http-errors %d\n", herr)
+	fmt.Fprintf(w, "  mismatches  %d\n", cnt.mismatch.Load())
+	fmt.Fprintf(w, "  latency     p50 %.2fms  p99 %.2fms\n", pct(0.50), pct(0.99))
+
+	// Server-side truth: hit rate over the run from /statsz deltas.
+	var hits, misses, diskHits, forwards, sshed int64
+	complete := true
+	for i := range after {
+		if after[i] == nil {
+			complete = false
+			continue
+		}
+		h, m, d, f, s := after[i].Hits, after[i].Misses, after[i].DiskHits, after[i].Forwards, after[i].Shed
+		if before[i] != nil {
+			h -= before[i].Hits
+			m -= before[i].Misses
+			d -= before[i].DiskHits
+			f -= before[i].Forwards
+			s -= before[i].Shed
+		}
+		hits += h
+		misses += m
+		diskHits += d
+		forwards += f
+		sshed += s
+	}
+	if total := hits + misses; total > 0 {
+		note := ""
+		if !complete {
+			note = " (some nodes unreachable for /statsz; partial)"
+		}
+		fmt.Fprintf(w, "  cluster     hitRate %.4f (%d hits, %d misses, %d diskHits), forwards %d, shed %d%s\n",
+			float64(hits)/float64(total), hits, misses, diskHits, forwards, sshed, note)
+	}
+}

@@ -1,0 +1,168 @@
+package main
+
+import (
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"caft/internal/service"
+)
+
+func startNode(t *testing.T, cfg service.Config) (addr string, svc *service.Service) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Self != "" {
+		t.Fatal("use startCluster-style wiring for clustered nodes")
+	}
+	svc, err = service.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: service.NewHandler(svc)}
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close(); svc.Close() })
+	return ln.Addr().String(), svc
+}
+
+func TestParseFlagsRejectsBadInput(t *testing.T) {
+	cases := [][]string{
+		{},                                  // missing -targets
+		{"-targets", "a:1", "-n", "0"},      // non-positive n
+		{"-targets", "a:1", "-conc", "-1"},  // negative conc
+		{"-targets", "a:1", "-zipf", "1.0"}, // zipf s must exceed 1
+		{"-targets", "a:1", "-timeout", "0s"},
+		{"-targets", ",,"}, // all-empty target list
+	}
+	for _, args := range cases {
+		if _, err := parseFlags(args); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+	cfg, err := parseFlags([]string{"-targets", " a:1, b:2 ", "-n", "4", "-conc", "64"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.targets) != 2 || cfg.targets[0] != "a:1" || cfg.targets[1] != "b:2" {
+		t.Errorf("targets parsed as %v", cfg.targets)
+	}
+	if cfg.conc != 4 {
+		t.Errorf("conc %d not clamped to n", cfg.conc)
+	}
+}
+
+// A small end-to-end run against one real node: every request succeeds,
+// the zipf stream repeats problems (hits dominate once the pool is
+// warm), and the report carries the server-side hit rate.
+func TestRunAgainstSingleNode(t *testing.T) {
+	addr, svc := startNode(t, service.Config{Workers: 2})
+	var out strings.Builder
+	err := run([]string{
+		"-targets", addr, "-n", "400", "-conc", "8",
+		"-problems", "20", "-seed", "7", "-timeout", "30s",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	st := svc.Stats()
+	if st.Hits+st.Misses != 400 {
+		t.Errorf("server saw %d requests, want 400", st.Hits+st.Misses)
+	}
+	if st.Misses > 20 {
+		t.Errorf("%d computes for a 20-problem pool — caching broken", st.Misses)
+	}
+	for _, want := range []string{"ok          400", "mismatches  0", "hitRate"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("report missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// Overload visibility: an admit-max 1 node under concurrent cold keys
+// sheds, and caftload reports the 429s rather than miscounting them as
+// failures.
+func TestRunReportsShedding(t *testing.T) {
+	addr, svc := startNode(t, service.Config{Workers: 1, MCWorkers: 1, AdmitMax: 1})
+	var out strings.Builder
+	err := run([]string{
+		"-targets", addr, "-n", "300", "-conc", "32",
+		"-problems", "150", "-zipf", "1.01", "-seed", "11", "-timeout", "30s",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if strings.Contains(out.String(), "mismatches  0") == false {
+		t.Errorf("byte mismatch under shedding:\n%s", out.String())
+	}
+	// The server's own counter is authoritative; the client must agree.
+	if shed := svc.Stats().Shed; shed > 0 && !strings.Contains(out.String(), "shed(429)   "+strconv.FormatInt(shed, 10)) {
+		t.Errorf("server shed %d but report says otherwise:\n%s", shed, out.String())
+	}
+}
+
+// The ledger catches non-determinism: two "nodes" where one is an
+// impostor returning different bytes for the same problem must fail the
+// run.
+func TestRunDetectsByteMismatch(t *testing.T) {
+	addr, _ := startNode(t, service.Config{Workers: 1})
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	impostor := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/statsz" {
+			w.Write([]byte("{}"))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"bogus": true}`))
+	})}
+	go impostor.Serve(ln)
+	t.Cleanup(func() { impostor.Close() })
+
+	var out strings.Builder
+	err = run([]string{
+		"-targets", addr + "," + ln.Addr().String(),
+		"-n", "64", "-conc", "4", "-problems", "4", "-timeout", "30s",
+	}, &out)
+	if err == nil || !strings.Contains(err.Error(), "byte-identical") {
+		t.Fatalf("mismatching cluster passed: err=%v\n%s", err, out.String())
+	}
+}
+
+// Guard against silent drift in the per-request deadline plumbing: a
+// node that never answers must surface as timeouts, not a hang.
+func TestRunCountsTimeouts(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	block := make(chan struct{})
+	srv := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-block
+	})}
+	go srv.Serve(ln)
+	t.Cleanup(func() { close(block); srv.Close() })
+
+	var out strings.Builder
+	start := time.Now()
+	err = run([]string{
+		"-targets", ln.Addr().String(), "-n", "8", "-conc", "8",
+		"-problems", "2", "-timeout", "300ms",
+	}, &out)
+	if err != nil {
+		t.Fatalf("timeouts must not fail the run: %v", err)
+	}
+	if time.Since(start) > 10*time.Second {
+		t.Fatal("run hung past the per-request deadline")
+	}
+	if !strings.Contains(out.String(), "timeouts    8") {
+		t.Errorf("report did not count the timeouts:\n%s", out.String())
+	}
+}

@@ -1,0 +1,59 @@
+package service
+
+import "sync/atomic"
+
+// admission bounds the number of computes a node accepts at once —
+// running on the worker pool plus queued on the pool handoff. When the
+// bound is hit, new computes are shed immediately with ErrOverloaded
+// (HTTP 429 + Retry-After) instead of queueing without limit: under
+// sustained overload a bounded queue keeps latency for admitted work
+// flat and gives clients an honest backpressure signal they can retry
+// against, where an unbounded queue only converts overload into
+// timeouts. Cache hits (memory or disk) are never shed — they consume
+// no worker.
+//
+// A nil *admission admits everything (AdmitMax = 0, the historical
+// behavior).
+type admission struct {
+	max int64
+	cur atomic.Int64
+}
+
+// newAdmission returns the admission gate for max admitted computes, or
+// nil for max <= 0 (unbounded).
+func newAdmission(max int) *admission {
+	if max <= 0 {
+		return nil
+	}
+	return &admission{max: int64(max)}
+}
+
+// acquire claims one admission slot; it reports false when the gate is
+// full (the caller must shed). Allocation-free: it sits on the cache-
+// miss serving path.
+//
+//caft:zeroalloc
+func (a *admission) acquire() bool {
+	if a == nil {
+		return true
+	}
+	for {
+		c := a.cur.Load()
+		if c >= a.max {
+			return false
+		}
+		if a.cur.CompareAndSwap(c, c+1) {
+			return true
+		}
+	}
+}
+
+// release returns a slot claimed by acquire — after the compute
+// finished, or when the handoff was abandoned.
+//
+//caft:zeroalloc
+func (a *admission) release() {
+	if a != nil {
+		a.cur.Add(-1)
+	}
+}

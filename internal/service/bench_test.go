@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"fmt"
 	"testing"
 )
 
@@ -10,7 +11,7 @@ import (
 // allocates nothing per request — TestServeCachedAllocFree pins the
 // zero, this benchmark reports it (run with -benchmem).
 func BenchmarkServeCached(b *testing.B) {
-	svc := New(Config{Workers: 2})
+	svc := mustNew(b, Config{Workers: 2})
 	defer svc.Close()
 	req := quickReq()
 	if _, err := svc.Do(context.Background(), req); err != nil {
@@ -28,7 +29,7 @@ func BenchmarkServeCached(b *testing.B) {
 // The acceptance pin behind BenchmarkServeCached: a cache hit must not
 // allocate in the service layer.
 func TestServeCachedAllocFree(t *testing.T) {
-	svc := New(Config{Workers: 2})
+	svc := mustNew(t, Config{Workers: 2})
 	defer svc.Close()
 	req := quickReq()
 	if _, err := svc.Do(context.Background(), req); err != nil {
@@ -46,10 +47,38 @@ func TestServeCachedAllocFree(t *testing.T) {
 	}
 }
 
+// BenchmarkCacheEvictMiss measures the miss path of a full bounded
+// cache — each lookup of a fresh key must evict a completed entry
+// first. Eviction pops the completed-key queue instead of scanning the
+// map under the write lock, so per-miss cost must stay flat as the
+// cache grows; before the fix it was O(cache size) per miss.
+func BenchmarkCacheEvictMiss(b *testing.B) {
+	for _, size := range []int{1 << 10, 1 << 16} {
+		b.Run(fmt.Sprintf("size=%d", size), func(b *testing.B) {
+			c := newCache(size)
+			complete := func(key hashKey) {
+				e, created := c.lookup(key)
+				if created {
+					close(e.done)
+					c.markDone(key, e)
+				}
+			}
+			for i := 0; i < size; i++ {
+				complete(hashKey{a: uint64(i + 1), b: uint64(i) << 7})
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				complete(hashKey{a: uint64(size + i + 1), b: uint64(size+i) << 7})
+			}
+		})
+	}
+}
+
 // BenchmarkServeMiss measures a full compute (schedule + encode) for
 // scale: the denominator that makes the cached path's win visible.
 func BenchmarkServeMiss(b *testing.B) {
-	svc := New(Config{Workers: 2})
+	svc := mustNew(b, Config{Workers: 2})
 	defer svc.Close()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {

@@ -16,10 +16,28 @@ type entry struct {
 // (and owns the compute), every later requester — concurrent or not —
 // finds it and waits on done. The read path takes only an RLock and
 // allocates nothing.
+//
+// Only successful computes stay resident: the worker removes an entry
+// whose compute errored (remove) before closing done, so collapsed
+// waiters still observe the error but the next identical request
+// recomputes instead of being re-served a pinned failure.
+//
+// Eviction is O(1) amortized: every completed resident key is pushed
+// onto doneq (markDone), and evictLocked pops candidates instead of
+// scanning the map. The map scan survives only as a fallback for the
+// instant between close(done) and markDone.
 type cache struct {
 	mu  sync.RWMutex
 	m   map[hashKey]*entry
 	max int // entries; 0 = unbounded
+
+	// doneq is a FIFO of completed resident keys — eviction candidates.
+	// head indexes the next pop; the backing array is compacted when the
+	// dead prefix dominates. Keys are pushed at most once per completion
+	// and popped at most once, so the live region stays bounded by the
+	// resident completed entries. Maintained only when max > 0.
+	doneq []hashKey
+	head  int
 }
 
 func newCache(max int) *cache {
@@ -50,14 +68,36 @@ func (c *cache) lookup(key hashKey) (e *entry, created bool) {
 	return e, true
 }
 
-// evictLocked drops one completed entry (map-iteration order, i.e.
-// effectively random). In-flight entries are never evicted, so their
-// waiters always resolve; if every entry is in flight the cache
-// temporarily exceeds max rather than blocking.
+// evictLocked drops one completed entry. Candidates come off doneq in
+// completion order (oldest-completed first), skipping keys whose entry
+// was already removed or replaced; the full map scan runs only when the
+// queue is empty — either nothing resident ever completed, or a worker
+// sits between close(done) and markDone. In-flight entries are never
+// evicted, so their waiters always resolve; if every entry is in flight
+// the cache temporarily exceeds max rather than blocking.
 //
 //caft:zeroalloc
 func (c *cache) evictLocked() {
-	for k, e := range c.m { //caft:unordered-ok eviction victim is deliberately arbitrary
+	for c.head < len(c.doneq) {
+		k := c.doneq[c.head]
+		c.head++
+		if c.head == len(c.doneq) {
+			c.doneq, c.head = c.doneq[:0], 0
+		}
+		e := c.m[k]
+		if e == nil {
+			continue // removed since completion (failed, abandoned, re-keyed)
+		}
+		select {
+		case <-e.done:
+			delete(c.m, k)
+			return
+		default:
+			// The key was reused by a newer, still in-flight entry; its
+			// completion will re-push it.
+		}
+	}
+	for k, e := range c.m { //caft:unordered-ok fallback eviction victim is deliberately arbitrary
 		select {
 		case <-e.done:
 			delete(c.m, k)
@@ -67,9 +107,29 @@ func (c *cache) evictLocked() {
 	}
 }
 
-// remove drops the entry for key if it is still the one stored —
-// abandoning creators use it so a never-computed entry does not pin the
-// key forever.
+// markDone records a completed resident entry as an eviction candidate.
+// Called after close(e.done); a no-op for unbounded caches (nothing is
+// ever evicted) and for entries that already left the map.
+func (c *cache) markDone(key hashKey, e *entry) {
+	if c.max == 0 {
+		return
+	}
+	c.mu.Lock()
+	if c.m[key] == e {
+		if c.head > 0 && c.head == len(c.doneq) {
+			c.doneq, c.head = c.doneq[:0], 0
+		}
+		c.doneq = append(c.doneq, key)
+	}
+	c.mu.Unlock()
+}
+
+// remove drops the entry for key if it is still the one stored.
+// Abandoning creators use it so a never-computed entry does not pin the
+// key forever, and workers use it for computes that errored — running
+// *before* close(e.done), so waiters already collapsed onto e still
+// receive the error through their entry pointer while the key is free
+// again and the next identical request recomputes.
 //
 //caft:zeroalloc
 func (c *cache) remove(key hashKey, e *entry) {

@@ -1,0 +1,255 @@
+package service
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// The disk tier persists successful responses in append-only segment
+// files, so a restarted node comes back warm: a memory-cache miss
+// consults the disk index before computing, and — responses being a
+// pure function of the request — the bytes served after a restart are
+// identical to the ones served before it.
+//
+// Layout: <dir>/seg-NNNNNN.caft, each a sequence of records
+//
+//	u32  magic (0xCAF7D15C)
+//	u64  key.a   u64 key.b      (the canonical 128-bit request hash)
+//	u32  len                    (payload bytes)
+//	u32  crc32(payload)         (IEEE)
+//	payload                     (the immutable encoded response)
+//
+// all integers little-endian. Records are written with plain write(2)
+// (no per-record fsync): a killed process loses nothing already handed
+// to the kernel, a machine crash may lose a CRC-guarded tail, which
+// boot scanning truncates — losing a cache entry is always safe, the
+// next request just recomputes it. Failed computes are never persisted
+// (the error-eviction contract extends to disk). Segments rotate at
+// diskSegMax and are never compacted; the tier grows with the distinct
+// keyspace, which CacheMax does not bound (it bounds memory only).
+const (
+	diskMagic  = 0xCAF7D15C
+	diskHdrLen = 4 + 8 + 8 + 4 + 4
+	// diskRecMax bounds one payload at boot scan — anything larger is
+	// treated as corruption, not an allocation request.
+	diskRecMax = 64 << 20
+)
+
+// diskSegMax rotates the active segment; generous so small caches stay
+// single-file. A variable only so the rotation test can shrink it.
+var diskSegMax int64 = 64 << 20
+
+// diskLoc locates one persisted response.
+type diskLoc struct {
+	seg int32
+	off int64
+	n   int32
+}
+
+// diskStore is the persistent cache tier: an in-memory index over
+// append-only segment files. get serves concurrent readers via ReadAt;
+// put appends under the mutex. Safe for concurrent use.
+type diskStore struct {
+	dir string
+
+	mu     sync.RWMutex
+	index  map[hashKey]diskLoc
+	segs   []*os.File // read handles, index = diskLoc.seg
+	active *os.File   // == segs[len(segs)-1], append handle
+	off    int64      // append offset in active
+}
+
+// openDisk opens (or creates) the disk tier under dir, scanning every
+// segment into the index. Torn or corrupt tails are truncated away on
+// the active segment and ignored on older ones; a bad record always
+// ends that segment's scan (append-only files have nothing valid after
+// the first bad record).
+func openDisk(dir string) (*diskStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("disk tier: %w", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("disk tier: %w", err)
+	}
+	var names []string
+	for _, de := range entries {
+		if n := de.Name(); len(n) > 9 && n[:4] == "seg-" && filepath.Ext(n) == ".caft" {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	d := &diskStore{dir: dir, index: make(map[hashKey]diskLoc)}
+	for i, name := range names {
+		f, err := os.OpenFile(filepath.Join(dir, name), os.O_RDWR, 0)
+		if err != nil {
+			d.close()
+			return nil, fmt.Errorf("disk tier: %w", err)
+		}
+		clean, err := d.scanSegment(f, int32(i))
+		if err != nil {
+			f.Close()
+			d.close()
+			return nil, fmt.Errorf("disk tier: scanning %s: %w", name, err)
+		}
+		d.segs = append(d.segs, f)
+		if i == len(names)-1 {
+			// Active segment: drop any torn tail so appends continue
+			// from the last valid record.
+			if err := f.Truncate(clean); err != nil {
+				d.close()
+				return nil, fmt.Errorf("disk tier: %w", err)
+			}
+			d.active, d.off = f, clean
+		}
+	}
+	if d.active == nil {
+		if err := d.rotateLocked(); err != nil {
+			d.close()
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// scanSegment indexes every valid record of f and returns the clean
+// prefix length. I/O errors are returned; mere corruption (bad magic,
+// implausible length, CRC mismatch, torn tail) just ends the scan.
+func (d *diskStore) scanSegment(f *os.File, seg int32) (clean int64, err error) {
+	r := bufio.NewReaderSize(f, 1<<20)
+	var hdr [diskHdrLen]byte
+	var off int64
+	for {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return off, nil
+			}
+			return off, err
+		}
+		key, n, sum, ok := decodeHdr(hdr)
+		if !ok {
+			return off, nil
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return off, nil
+			}
+			return off, err
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			return off, nil
+		}
+		d.index[key] = diskLoc{seg: seg, off: off + diskHdrLen, n: int32(n)}
+		off += diskHdrLen + int64(n)
+	}
+}
+
+func decodeHdr(hdr [diskHdrLen]byte) (key hashKey, n uint32, crc uint32, ok bool) {
+	if binary.LittleEndian.Uint32(hdr[0:]) != diskMagic {
+		return hashKey{}, 0, 0, false
+	}
+	key.a = binary.LittleEndian.Uint64(hdr[4:])
+	key.b = binary.LittleEndian.Uint64(hdr[12:])
+	n = binary.LittleEndian.Uint32(hdr[20:])
+	if n == 0 || n > diskRecMax {
+		return hashKey{}, 0, 0, false
+	}
+	return key, n, binary.LittleEndian.Uint32(hdr[24:]), true
+}
+
+// rotateLocked opens the next numbered segment as the active one.
+// Callers hold mu (or have exclusive access during open).
+func (d *diskStore) rotateLocked() error {
+	if d.active != nil {
+		d.active.Sync()
+	}
+	name := filepath.Join(d.dir, fmt.Sprintf("seg-%06d.caft", len(d.segs)))
+	f, err := os.OpenFile(name, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("disk tier: %w", err)
+	}
+	d.segs = append(d.segs, f)
+	d.active, d.off = f, 0
+	return nil
+}
+
+// get returns the persisted response for key, or ok=false. Read errors
+// degrade to a miss — the compute path re-derives the identical bytes.
+func (d *diskStore) get(key hashKey) ([]byte, bool) {
+	d.mu.RLock()
+	loc, ok := d.index[key]
+	var f *os.File
+	if ok {
+		f = d.segs[loc.seg]
+	}
+	d.mu.RUnlock()
+	if !ok {
+		return nil, false
+	}
+	buf := make([]byte, loc.n)
+	if _, err := f.ReadAt(buf, loc.off); err != nil {
+		return nil, false
+	}
+	return buf, true
+}
+
+// put appends one successful response. Already-persisted keys are a
+// no-op (determinism makes re-writes pointless bytes-for-bytes
+// duplicates). Errors leave the store usable; the entry is simply not
+// persisted.
+func (d *diskStore) put(key hashKey, resp []byte) error {
+	if len(resp) == 0 || len(resp) > diskRecMax {
+		return fmt.Errorf("disk tier: response size %d out of range", len(resp))
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.index[key]; ok {
+		return nil
+	}
+	if d.off+diskHdrLen+int64(len(resp)) > diskSegMax && d.off > 0 {
+		if err := d.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	var hdr [diskHdrLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:], diskMagic)
+	binary.LittleEndian.PutUint64(hdr[4:], key.a)
+	binary.LittleEndian.PutUint64(hdr[12:], key.b)
+	binary.LittleEndian.PutUint32(hdr[20:], uint32(len(resp)))
+	binary.LittleEndian.PutUint32(hdr[24:], crc32.ChecksumIEEE(resp))
+	if _, err := d.active.WriteAt(hdr[:], d.off); err != nil {
+		return fmt.Errorf("disk tier: %w", err)
+	}
+	if _, err := d.active.WriteAt(resp, d.off+diskHdrLen); err != nil {
+		return fmt.Errorf("disk tier: %w", err)
+	}
+	d.index[key] = diskLoc{seg: int32(len(d.segs) - 1), off: d.off + diskHdrLen, n: int32(len(resp))}
+	d.off += diskHdrLen + int64(len(resp))
+	return nil
+}
+
+// len reports the number of persisted responses.
+func (d *diskStore) len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.index)
+}
+
+// close syncs and closes every segment.
+func (d *diskStore) close() {
+	if d.active != nil {
+		d.active.Sync()
+	}
+	for _, f := range d.segs {
+		f.Close()
+	}
+}

@@ -21,7 +21,7 @@ func onlineReq() *Request {
 // and the reactive engine re-placing work under a failure regime that
 // certainly kills mid-run.
 func TestServeOnlineMode(t *testing.T) {
-	svc := New(Config{Workers: 2, MCWorkers: 2})
+	svc := mustNew(t, Config{Workers: 2, MCWorkers: 2})
 	defer svc.Close()
 	raw, err := svc.Do(context.Background(), onlineReq())
 	if err != nil {
@@ -71,7 +71,7 @@ func TestServeOnlineMode(t *testing.T) {
 func TestOnlineResponsesDeterministic(t *testing.T) {
 	var first []byte
 	for _, cfg := range []Config{{Workers: 1, MCWorkers: 1}, {Workers: 4, MCWorkers: 8}} {
-		svc := New(cfg)
+		svc := mustNew(t, cfg)
 		raw, err := svc.Do(context.Background(), onlineReq())
 		if err != nil {
 			t.Fatal(err)

@@ -32,7 +32,7 @@ func TestRegisteredSchedulerServableWithoutServiceEdits(t *testing.T) {
 		},
 	})
 
-	svc := New(Config{Workers: 1})
+	svc := mustNew(t, Config{Workers: 1})
 	defer svc.Close()
 	srv := httptest.NewServer(NewHandler(svc))
 	defer srv.Close()
@@ -71,7 +71,7 @@ func TestRegisteredSchedulerServableWithoutServiceEdits(t *testing.T) {
 // Fault-free entries (Caps.AcceptsEps false) must reject eps != 0 at
 // validation, generically — not via a hard-coded alg-name check.
 func TestFaultFreeCapsRejectEps(t *testing.T) {
-	svc := New(Config{Workers: 1})
+	svc := mustNew(t, Config{Workers: 1})
 	defer svc.Close()
 	for _, d := range sched.Registered() {
 		if d.Caps.AcceptsEps {

@@ -1,0 +1,109 @@
+package service
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ringVnodes is the number of points each node contributes to the hash
+// circle. 64 keeps the ownership spread within a few percent of even
+// for small clusters while the ring stays tiny (N*64 points).
+const ringVnodes = 64
+
+// ring is the consistent-hash ownership map of the cluster keyspace:
+// every node (identified by its advertised host:port) contributes
+// ringVnodes points on a uint64 circle, and a key is owned by the node
+// of the first point at or after the key's position. All nodes build
+// the ring from the same sorted member list, so ownership is a pure
+// function of (members, key) — every node routes every key the same
+// way, and N nodes share one effective cache with exactly one internal
+// hop for non-owned keys.
+type ring struct {
+	self   string
+	points []ringPoint // sorted by pos
+}
+
+type ringPoint struct {
+	pos  uint64
+	node string
+}
+
+// newRing builds the ring over nodes (the full member list, self
+// included). Order and duplicates in nodes are canonicalized away.
+func newRing(self string, nodes []string) (*ring, error) {
+	if self == "" {
+		return nil, fmt.Errorf("cluster: self address required when peers are set")
+	}
+	members := append([]string(nil), nodes...)
+	sort.Strings(members)
+	members = uniqStrings(members)
+	found := false
+	for _, n := range members {
+		if n == "" {
+			return nil, fmt.Errorf("cluster: empty peer address")
+		}
+		if n == self {
+			found = true
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("cluster: self %q not in peer list %v", self, members)
+	}
+	r := &ring{self: self, points: make([]ringPoint, 0, len(members)*ringVnodes)}
+	for _, n := range members {
+		for i := 0; i < ringVnodes; i++ {
+			r.points = append(r.points, ringPoint{pos: ringHash(n, i), node: n})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].pos != r.points[j].pos {
+			return r.points[i].pos < r.points[j].pos
+		}
+		// Colliding points tie-break on the node name so every member
+		// still builds the identical ring.
+		return r.points[i].node < r.points[j].node
+	})
+	return r, nil
+}
+
+// ringHash positions vnode i of node on the circle, reusing the
+// canonical digest's FNV lane.
+func ringHash(node string, i int) uint64 {
+	h := newDigest()
+	h.str(node)
+	h.int(i)
+	return h.sum().a
+}
+
+// owner returns the node owning key: the first ring point at or after
+// the key's circle position, wrapping at the top. Allocation-free — it
+// runs on every clustered request.
+//
+//caft:zeroalloc
+func (r *ring) owner(key hashKey) string {
+	pos := key.a ^ key.b
+	points := r.points
+	lo, hi := 0, len(points)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if points[mid].pos < pos {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == len(points) {
+		lo = 0
+	}
+	return points[lo].node
+}
+
+func uniqStrings(sorted []string) []string {
+	out := sorted[:0]
+	for i, s := range sorted {
+		if i == 0 || s != sorted[i-1] {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,115 @@
+package service
+
+import (
+	"fmt"
+	"testing"
+)
+
+func testKeys(n int) []hashKey {
+	keys := make([]hashKey, n)
+	for i := range keys {
+		h := newDigest()
+		h.str("ring-test-key")
+		h.int(i)
+		keys[i] = h.sum()
+	}
+	return keys
+}
+
+// Ownership must be a pure function of the member set: every node
+// builds the identical ring whatever order (or duplication) its peer
+// list arrives in, or routing would loop.
+func TestRingDeterministicAcrossMemberOrder(t *testing.T) {
+	a, err := newRing("n1:1", []string{"n1:1", "n2:2", "n3:3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := newRing("n3:3", []string{"n3:3", "n2:2", "n1:1", "n2:2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range testKeys(2000) {
+		if a.owner(k) != b.owner(k) {
+			t.Fatalf("ring disagrees on key %v: %q vs %q", k, a.owner(k), b.owner(k))
+		}
+	}
+}
+
+// With vnodes, a small cluster's ownership must be reasonably even —
+// every node owns a share, none owns almost everything.
+func TestRingSpreadsOwnership(t *testing.T) {
+	nodes := []string{"n1:1", "n2:2", "n3:3"}
+	r, err := newRing("n1:1", nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	keys := testKeys(6000)
+	for _, k := range keys {
+		counts[r.owner(k)]++
+	}
+	for _, n := range nodes {
+		share := float64(counts[n]) / float64(len(keys))
+		if share < 0.10 || share > 0.60 {
+			t.Errorf("node %s owns %.0f%% of the keyspace — vnode spread broken (%v)", n, 100*share, counts)
+		}
+	}
+}
+
+// A single-node ring owns everything (the degenerate cluster).
+func TestRingSingleNodeOwnsAll(t *testing.T) {
+	r, err := newRing("n1:1", []string{"n1:1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range testKeys(100) {
+		if r.owner(k) != "n1:1" {
+			t.Fatal("single-node ring routed a key elsewhere")
+		}
+	}
+}
+
+func TestRingRejectsBadMembership(t *testing.T) {
+	if _, err := newRing("", []string{"a:1"}); err == nil {
+		t.Error("empty self accepted")
+	}
+	if _, err := newRing("b:2", []string{"a:1"}); err == nil {
+		t.Error("self outside the member list accepted")
+	}
+	if _, err := newRing("a:1", []string{"a:1", ""}); err == nil {
+		t.Error("empty peer address accepted")
+	}
+}
+
+// Owner lookup sits on every clustered request; it must not allocate.
+func TestRingOwnerAllocFree(t *testing.T) {
+	r, err := newRing("n1:1", []string{"n1:1", "n2:2", "n3:3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := testKeys(64)
+	i := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		_ = r.owner(keys[i%len(keys)])
+		i++
+	})
+	if allocs > 0 {
+		t.Errorf("ring.owner allocates %.1f per call, want 0", allocs)
+	}
+}
+
+func BenchmarkRingOwner(b *testing.B) {
+	nodes := make([]string, 8)
+	for i := range nodes {
+		nodes[i] = fmt.Sprintf("node%d:8080", i)
+	}
+	r, err := newRing(nodes[0], nodes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	keys := testKeys(1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = r.owner(keys[i%len(keys)])
+	}
+}

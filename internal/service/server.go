@@ -1,8 +1,11 @@
 package service
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
+	"io"
+	"log"
 	"net/http"
 )
 
@@ -14,6 +17,13 @@ const maxRequestBytes = 8 << 20
 //	POST /schedule  — schedule one problem (Request JSON in, Response JSON out)
 //	GET  /healthz   — liveness
 //	GET  /statsz    — serving counters (StatsSnapshot JSON)
+//
+// With a cluster configured (Config.Peers), /schedule routes each
+// request to the node owning its canonical hash: non-owned keys are
+// forwarded verbatim with one internal hop (forwardedHeader is the
+// loop guard), so N nodes share one effective cache and concurrent
+// identical requests collapse onto the owner's single in-flight
+// compute regardless of which node they entered through.
 func NewHandler(s *Service) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /schedule", s.handleSchedule)
@@ -23,19 +33,52 @@ func NewHandler(s *Service) http.Handler {
 }
 
 func (s *Service) handleSchedule(w http.ResponseWriter, r *http.Request) {
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "unreadable request: "+err.Error())
+		return
+	}
+	dec := json.NewDecoder(bytes.NewReader(body))
 	dec.DisallowUnknownFields()
 	var req Request
 	if err := dec.Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, "malformed request: "+err.Error())
 		return
 	}
+	if s.ring != nil && r.Header.Get(forwardedHeader) == "" {
+		// Validate before routing so garbage is rejected here instead
+		// of spending a hop; the wrapped message matches Do's.
+		if err := req.validate(); err != nil {
+			s.st.badRequests.Add(1)
+			writeError(w, http.StatusBadRequest, ErrBadRequest.Error()+": "+err.Error())
+			return
+		}
+		if owner := s.ring.owner(req.hash()); owner != s.ring.self {
+			s.st.forwards.Add(1)
+			if s.peers.forward(w, owner, body) {
+				return
+			}
+			// Peer unreachable: serve locally. Responses are a pure
+			// function of the request, so the fallback is byte-identical
+			// to what the owner would have served — only the cache runs
+			// colder until the peer returns.
+			s.st.forwardErrors.Add(1)
+		}
+	}
 	resp, err := s.Do(r.Context(), &req)
 	switch {
 	case errors.Is(err, ErrBadRequest):
 		writeError(w, http.StatusBadRequest, err.Error())
+	case errors.Is(err, ErrOverloaded):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "overloaded, retry later")
+	case errors.Is(err, ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, "shutting down")
 	case err != nil:
-		writeError(w, http.StatusInternalServerError, err.Error())
+		// Internal failures must not leak compute internals to clients;
+		// the detail goes to the server log, the body stays generic.
+		log.Printf("caftd: /schedule failed: %v", err)
+		writeError(w, http.StatusInternalServerError, "internal error")
 	default:
 		w.Header().Set("Content-Type", "application/json")
 		w.Write(resp)

@@ -2,6 +2,7 @@ package service
 
 import (
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -10,7 +11,7 @@ import (
 
 func newTestServer(t *testing.T, cfg Config) (*httptest.Server, *Service) {
 	t.Helper()
-	svc := New(cfg)
+	svc := mustNew(t, cfg)
 	srv := httptest.NewServer(NewHandler(svc))
 	t.Cleanup(func() { srv.Close(); svc.Close() })
 	return srv, svc
@@ -78,6 +79,35 @@ func TestHTTPErrors(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusMethodNotAllowed {
 		t.Errorf("GET /schedule: status %d, want 405", resp.StatusCode)
+	}
+}
+
+// Regression test for the internal-error leak: a compute failure that
+// is not a bad request (here CAFT asked for more replicas than the
+// platform has processors, which only the scheduler itself detects)
+// used to ship its raw error string to the client. The 500 body must be
+// the fixed generic message; the detail belongs in the server log only.
+func TestHTTPInternalErrorBodyGeneric(t *testing.T) {
+	srv, _ := newTestServer(t, Config{Workers: 1})
+	overCommitted := `{
+	  "alg": "caft", "eps": 10, "seed": 1,
+	  "generator": {"kind": "montage", "n": 4, "volume": 100},
+	  "platform": {"m": 4, "delay": 0.75}
+	}`
+	resp, err := http.Post(srv.URL+"/schedule", "application/json", strings.NewReader(overCommitted))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500", resp.StatusCode)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "{\"error\":\"internal error\"}\n"; string(raw) != want {
+		t.Errorf("500 body %q leaks internals, want %q", raw, want)
 	}
 }
 

@@ -19,8 +19,33 @@ type Config struct {
 	// on the expt work-unit pool. 0 means GOMAXPROCS; estimates are
 	// byte-identical for any value.
 	MCWorkers int
-	// CacheMax bounds the response cache (entries); 0 means unbounded.
+	// CacheMax bounds the in-memory response cache (entries); 0 means
+	// unbounded. It does not bound the disk tier.
 	CacheMax int
+
+	// AdmitMax bounds the computes accepted at once — running plus
+	// queued on the pool handoff. Past it, misses are shed immediately
+	// with ErrOverloaded (HTTP 429 + Retry-After) instead of queueing
+	// without bound; cache hits are never shed. 0 means unbounded.
+	AdmitMax int
+
+	// DiskDir enables the persistent cache tier: successful responses
+	// are appended to segment files under this directory and reloaded
+	// into the serving index on start, so a restarted node answers its
+	// old keyspace byte-identically without recomputing. Empty disables
+	// the tier.
+	DiskDir string
+
+	// Self and Peers configure cluster routing. Peers is the full
+	// member list (Self included); each node owns a consistent-hash
+	// range of the keyspace, and the HTTP layer forwards non-owned
+	// /schedule requests to their owner (one internal hop). Empty Peers
+	// disables routing (single-node serving).
+	Self  string
+	Peers []string
+	// PeerTimeout bounds one forwarded request end to end; 0 means
+	// defaultPeerTimeout.
+	PeerTimeout time.Duration
 }
 
 // ErrBadRequest wraps every request-validation failure; the HTTP layer
@@ -30,13 +55,23 @@ var ErrBadRequest = errors.New("bad request")
 // ErrClosed is returned by Do once Close has been called.
 var ErrClosed = errors.New("service closed")
 
+// ErrOverloaded is returned by Do when the admission gate (AdmitMax)
+// sheds a compute; the HTTP layer maps it to 429 with Retry-After.
+var ErrOverloaded = errors.New("overloaded")
+
 // Service is the scheduling service core: a content-addressed response
-// cache with singleflight collapsing in front of a bounded worker pool.
-// It is safe for concurrent use, including Do racing Close: requests
-// that cannot be handed to the pool anymore fail with ErrClosed.
+// cache (memory, optionally backed by a persistent disk tier) with
+// singleflight collapsing in front of a bounded, admission-controlled
+// worker pool. It is safe for concurrent use, including Do racing
+// Close: requests that cannot be handed to the pool anymore fail with
+// ErrClosed.
 type Service struct {
 	cfg     Config
 	cache   *cache
+	disk    *diskStore // nil without DiskDir
+	ring    *ring      // nil without Peers
+	peers   *peerClient
+	admit   *admission // nil without AdmitMax
 	jobs    chan job
 	closing chan struct{}
 	st      stats
@@ -45,40 +80,67 @@ type Service struct {
 
 type job struct {
 	req *Request
+	key hashKey
 	e   *entry
 }
 
-// New starts a Service with cfg.Workers compute workers.
-func New(cfg Config) *Service {
+// New starts a Service with cfg.Workers compute workers. It fails when
+// the disk tier cannot be opened or the cluster spec is inconsistent
+// (Peers set without Self, or Self missing from Peers).
+func New(cfg Config) (*Service, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0) //caft:nondet-ok default worker count; schedules are keyed by request
 	}
 	s := &Service{
 		cfg:     cfg,
 		cache:   newCache(cfg.CacheMax),
+		admit:   newAdmission(cfg.AdmitMax),
 		jobs:    make(chan job),
 		closing: make(chan struct{}),
+	}
+	if cfg.DiskDir != "" {
+		d, err := openDisk(cfg.DiskDir)
+		if err != nil {
+			return nil, err
+		}
+		s.disk = d
+	}
+	if len(cfg.Peers) > 0 {
+		r, err := newRing(cfg.Self, cfg.Peers)
+		if err != nil {
+			if s.disk != nil {
+				s.disk.close()
+			}
+			return nil, err
+		}
+		s.ring = r
+		s.peers = newPeerClient(cfg.PeerTimeout)
 	}
 	s.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker()
 	}
-	return s
+	return s, nil
 }
 
-// Close stops the worker pool after the in-flight computes finish.
-// Requests still blocked on the pool handoff resolve with ErrClosed;
-// nothing panics however Close races in-flight Do calls (the jobs
-// channel is never closed — workers and blocked senders both leave via
-// the closing signal).
+// Close stops the worker pool after the in-flight computes finish, then
+// syncs and closes the disk tier. Requests still blocked on the pool
+// handoff resolve with ErrClosed; nothing panics however Close races
+// in-flight Do calls (the jobs channel is never closed — workers and
+// blocked senders both leave via the closing signal).
 func (s *Service) Close() {
 	close(s.closing)
 	s.wg.Wait()
+	if s.disk != nil {
+		s.disk.close()
+	}
+	s.peers.closeIdle()
 }
 
 // Do serves one request: validate, hash, and either return the cached
-// (or in-flight) response or compute it on the pool. The returned bytes
-// are the immutable encoded response and must not be modified.
+// (memory or disk) or in-flight response or compute it on the pool. The
+// returned bytes are the immutable encoded response and must not be
+// modified.
 //
 // ctx cancels the *wait*, not the compute: a caller that gives up while
 // its entry is in flight gets ctx.Err() and the worker still finishes
@@ -86,9 +148,10 @@ func (s *Service) Close() {
 // its compute was handed to the pool removes the entry, so collapsed
 // waiters fail fast and the next identical request retries.
 //
-// The cache-hit path — hash, lookup, receive from a closed channel,
-// stats — performs no scheduling work and allocates nothing;
-// BenchmarkServeCached pins this.
+// The memory-cache-hit path — hash, lookup, receive from a closed
+// channel, stats — performs no scheduling work and allocates nothing;
+// BenchmarkServeCached pins this. The disk-hit and miss paths run off
+// that pin.
 //
 //caft:zeroalloc
 func (s *Service) Do(ctx context.Context, req *Request) ([]byte, error) {
@@ -103,16 +166,8 @@ func (s *Service) Do(ctx context.Context, req *Request) ([]byte, error) {
 	key := req.hash()
 	e, created := s.cache.lookup(key)
 	if created {
-		select {
-		case s.jobs <- job{req: req, e: e}:
-			// Counted only after the handoff: Misses documents the number
-			// of scheduling runs performed, and an abandoned entry never
-			// reaches a worker.
-			s.st.misses.Add(1)
-		case <-ctx.Done(): //caft:alloc-ok cancellation arm of the miss handoff; the hit path skips this select
-			return nil, s.abandon(key, e, ctx.Err()) //caft:alloc-ok cancellation path on a cache miss, off the pinned hit path
-		case <-s.closing:
-			return nil, s.abandon(key, e, ErrClosed) //caft:alloc-ok shutdown path, off the pinned hit path
+		if err := s.fill(ctx, key, e, req); err != nil { //caft:alloc-ok miss path, off the pinned hit path
+			return nil, err
 		}
 	} else {
 		s.st.hits.Add(1)
@@ -130,6 +185,42 @@ func (s *Service) Do(ctx context.Context, req *Request) ([]byte, error) {
 	return e.resp, nil
 }
 
+// fill resolves a freshly created entry: serve it from the disk tier if
+// the key is persisted, otherwise admit the compute and hand it to the
+// pool. Runs only on the miss path.
+func (s *Service) fill(ctx context.Context, key hashKey, e *entry, req *Request) error {
+	if s.disk != nil {
+		if resp, ok := s.disk.get(key); ok {
+			e.resp = resp
+			close(e.done)
+			s.cache.markDone(key, e)
+			// No scheduling run happened: a disk read is a hit (Misses
+			// documents computes), tallied separately as DiskHits.
+			s.st.hits.Add(1)
+			s.st.diskHits.Add(1)
+			return nil
+		}
+	}
+	if !s.admit.acquire() {
+		s.st.shed.Add(1)
+		return s.abandon(key, e, ErrOverloaded)
+	}
+	select {
+	case s.jobs <- job{req: req, key: key, e: e}:
+		// Counted only after the handoff: Misses documents the number
+		// of scheduling runs performed, and an abandoned entry never
+		// reaches a worker.
+		s.st.misses.Add(1)
+		return nil
+	case <-ctx.Done():
+		s.admit.release()
+		return s.abandon(key, e, ctx.Err())
+	case <-s.closing:
+		s.admit.release()
+		return s.abandon(key, e, ErrClosed)
+	}
+}
+
 // abandon resolves an entry whose compute never reached the pool:
 // waiters collapsed onto it fail with err, and the entry leaves the
 // cache so the next identical request retries.
@@ -142,7 +233,11 @@ func (s *Service) abandon(key hashKey, e *entry, err error) error {
 
 // Stats returns a snapshot of the serving counters.
 func (s *Service) Stats() StatsSnapshot {
-	return s.st.snapshot(s.cache.len(), s.cfg.Workers)
+	diskEntries := 0
+	if s.disk != nil {
+		diskEntries = s.disk.len()
+	}
+	return s.st.snapshot(s.cache.len(), diskEntries, s.cfg.Workers)
 }
 
 func (s *Service) worker() {
@@ -152,7 +247,21 @@ func (s *Service) worker() {
 		select {
 		case j := <-s.jobs:
 			j.e.resp, j.e.err = s.compute(sc, j.req)
-			close(j.e.done)
+			if j.e.err != nil {
+				// Evict before waking waiters: collapsed callers still
+				// see the error through their entry pointer, but the
+				// key is free, so the next identical request recomputes
+				// instead of being re-served a pinned failure.
+				s.cache.remove(j.key, j.e)
+				close(j.e.done)
+			} else {
+				close(j.e.done)
+				s.cache.markDone(j.key, j.e)
+				if s.disk != nil {
+					s.disk.put(j.key, j.e.resp)
+				}
+			}
+			s.admit.release()
 		case <-s.closing:
 			return
 		}

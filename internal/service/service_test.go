@@ -17,6 +17,17 @@ import (
 // testDAG is a placeholder inline graph for validation tests.
 var testDAG = *dag.New(3)
 
+// mustNew builds a Service whose construction must succeed — every
+// test config without a broken disk dir or cluster spec.
+func mustNew(tb testing.TB, cfg Config) *Service {
+	tb.Helper()
+	svc, err := New(cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return svc
+}
+
 // quickReq is the canonical small test request: a montage workflow on
 // four processors, scheduled by CAFT at eps = 1 with a reliability
 // estimate. Mirrors cmd/caftd/testdata/quickstart.json.
@@ -45,7 +56,7 @@ func decodeResponse(t *testing.T, raw []byte) Response {
 }
 
 func TestServeBasics(t *testing.T) {
-	svc := New(Config{Workers: 2})
+	svc := mustNew(t, Config{Workers: 2})
 	defer svc.Close()
 	raw, err := svc.Do(context.Background(), quickReq())
 	if err != nil {
@@ -75,7 +86,7 @@ func TestServeBasics(t *testing.T) {
 // Every supported scheduler must serve under both policies and both
 // communication models.
 func TestServeEveryAlgPolicyModel(t *testing.T) {
-	svc := New(Config{Workers: 4})
+	svc := mustNew(t, Config{Workers: 4})
 	defer svc.Close()
 	for _, d := range sched.Registered() {
 		for _, policy := range []string{"append", "insertion"} {
@@ -97,7 +108,7 @@ func TestServeEveryAlgPolicyModel(t *testing.T) {
 }
 
 func TestServeSparseTopology(t *testing.T) {
-	svc := New(Config{Workers: 2})
+	svc := mustNew(t, Config{Workers: 2})
 	defer svc.Close()
 	for _, topo := range []TopologySpec{
 		{Shape: "ring"},
@@ -120,7 +131,7 @@ func TestServeSparseTopology(t *testing.T) {
 }
 
 func TestValidationRejects(t *testing.T) {
-	svc := New(Config{Workers: 1})
+	svc := mustNew(t, Config{Workers: 1})
 	defer svc.Close()
 	mutations := map[string]func(*Request){
 		"unknown alg":          func(r *Request) { r.Alg = "lpt" },
@@ -221,7 +232,7 @@ func TestHashCanonicalization(t *testing.T) {
 // An inline DAG and a generator spec are distinct key spaces even when
 // they denote the same graph; both must serve.
 func TestServeInlineDAG(t *testing.T) {
-	svc := New(Config{Workers: 1})
+	svc := mustNew(t, Config{Workers: 1})
 	defer svc.Close()
 	g, err := gen.Spec{Kind: "montage", N: 4, Volume: 100}.Build()
 	if err != nil {
@@ -254,7 +265,7 @@ func TestResponsesDeterministicAcrossWorkers(t *testing.T) {
 		{Workers: 1, MCWorkers: 1},
 		{Workers: 8, MCWorkers: 4},
 	} {
-		svc := New(cfg)
+		svc := mustNew(t, cfg)
 		raw, err := svc.Do(context.Background(), quickReq())
 		if err != nil {
 			svc.Close()
@@ -282,7 +293,7 @@ func TestResponsesDeterministicAcrossWorkers(t *testing.T) {
 // cache entry is created once, everyone else waits on it, and /statsz
 // observes exactly one miss.
 func TestSingleflightCollapse(t *testing.T) {
-	svc := New(Config{Workers: 4})
+	svc := mustNew(t, Config{Workers: 4})
 	defer svc.Close()
 	const n = 32
 	var wg sync.WaitGroup
@@ -319,7 +330,7 @@ func TestSingleflightCollapse(t *testing.T) {
 // A bounded cache evicts completed entries instead of growing without
 // limit, and never evicts in-flight ones (waiters must resolve).
 func TestCacheEviction(t *testing.T) {
-	svc := New(Config{Workers: 1, CacheMax: 2})
+	svc := mustNew(t, Config{Workers: 1, CacheMax: 2})
 	defer svc.Close()
 	for seed := int64(1); seed <= 5; seed++ {
 		req := quickReq()
@@ -358,7 +369,7 @@ func slowReq() *Request {
 // before the pool handoff removes the entry so the next identical
 // request retries and succeeds.
 func TestDoCancellation(t *testing.T) {
-	svc := New(Config{Workers: 1, MCWorkers: 1})
+	svc := mustNew(t, Config{Workers: 1, MCWorkers: 1})
 	defer svc.Close()
 	done := make(chan error, 1)
 	go func() {
@@ -385,7 +396,7 @@ func TestDoCancellation(t *testing.T) {
 // Close racing a blocked pool handoff must not panic (the jobs channel
 // is never closed) and must fail the blocked request with ErrClosed.
 func TestCloseUnblocksPendingHandoff(t *testing.T) {
-	svc := New(Config{Workers: 1, MCWorkers: 1})
+	svc := mustNew(t, Config{Workers: 1, MCWorkers: 1})
 	slow := make(chan error, 1)
 	go func() {
 		_, err := svc.Do(context.Background(), slowReq())
@@ -410,24 +421,131 @@ func TestCloseUnblocksPendingHandoff(t *testing.T) {
 	}
 }
 
-// Deterministic compute failures are cached like responses: the second
-// identical request is a hit, not a recompute.
-func TestErrorsCached(t *testing.T) {
-	svc := New(Config{Workers: 1})
-	defer svc.Close()
+// failingReq is a valid spec whose build fails in the worker: an
+// explicit exec matrix of the wrong shape (structural validation cannot
+// see the generated task count).
+func failingReq() *Request {
 	req := quickReq()
 	req.Reliability = nil
-	// Valid spec whose build fails: explicit exec matrix of wrong shape
-	// (structural validation cannot see the generated task count).
 	req.Exec = [][]float64{{1, 1, 1, 1}}
+	return req
+}
+
+// Regression test for the error-pinning bug: a compute that errored
+// used to stay in the cache forever, so every future identical request
+// was counted a "hit" and re-served the stale error. Error entries are
+// now evicted when the compute completes — the next identical request
+// must recompute (a fresh miss, not a hit), and the cache must hold no
+// entry for the failed key.
+func TestErrorsNotCached(t *testing.T) {
+	svc := mustNew(t, Config{Workers: 1})
+	defer svc.Close()
+	req := failingReq()
 	if _, err := svc.Do(context.Background(), req); err == nil {
 		t.Fatal("mis-shaped exec matrix accepted")
 	}
+	if n := svc.Stats().CacheEntries; n != 0 {
+		t.Fatalf("failed compute left %d cache entries, want 0", n)
+	}
 	if _, err := svc.Do(context.Background(), req); err == nil {
-		t.Fatal("cached failure turned into success")
+		t.Fatal("second request accepted")
 	}
 	st := svc.Stats()
-	if st.Misses != 1 || st.Hits != 1 || st.Failures != 2 {
-		t.Errorf("stats %+v: want 1 miss, 1 hit, 2 failures", st)
+	if st.Misses != 2 || st.Hits != 0 || st.Failures != 2 {
+		t.Errorf("stats %+v: want 2 misses, 0 hits, 2 failures — errors must recompute, not pin", st)
+	}
+	// A success under the same service must stay cached as before.
+	ok := quickReq()
+	ok.Reliability = nil
+	if _, err := svc.Do(context.Background(), ok); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Do(context.Background(), ok); err != nil {
+		t.Fatal(err)
+	}
+	if st := svc.Stats(); st.Hits != 1 {
+		t.Errorf("successful response not cached after error eviction: %+v", st)
+	}
+}
+
+// Error eviction under concurrent collapsed waiters: every waiter that
+// collapsed onto the failing in-flight entry must still observe the
+// error (no hang, no nil response), and once all resolve the key must
+// be free so the next request recomputes. Runs under -race in CI.
+func TestErrorEvictionConcurrentWaiters(t *testing.T) {
+	svc := mustNew(t, Config{Workers: 2})
+	defer svc.Close()
+	const n = 32
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	resps := make([][]byte, n)
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			resps[i], errs[i] = svc.Do(context.Background(), failingReq())
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] == nil || resps[i] != nil {
+			t.Fatalf("waiter %d: err=%v resp=%v, want collapsed error", i, errs[i], resps[i])
+		}
+	}
+	st := svc.Stats()
+	if st.Failures != n {
+		t.Errorf("%d failures recorded for %d waiters", st.Failures, n)
+	}
+	if st.CacheEntries != 0 {
+		t.Errorf("failed key still resident: %d entries", st.CacheEntries)
+	}
+	// The key is free: the next identical request is a fresh compute.
+	before := st.Misses
+	if _, err := svc.Do(context.Background(), failingReq()); err == nil {
+		t.Fatal("recompute accepted a bad exec matrix")
+	}
+	if after := svc.Stats().Misses; after != before+1 {
+		t.Errorf("misses %d -> %d: request after collapsed failure did not recompute", before, after)
+	}
+}
+
+// The Do/Close shutdown race, end to end: callers blocked on the pool
+// handoff resolve with ErrClosed, nothing panics, and no abandoned
+// entry survives in the cache. Runs under -race in CI.
+func TestDoCloseRaceNoLeakedEntry(t *testing.T) {
+	svc := mustNew(t, Config{Workers: 1, MCWorkers: 1})
+	slow := make(chan error, 1)
+	go func() {
+		_, err := svc.Do(context.Background(), slowReq())
+		slow <- err
+	}()
+	waitBusy(t, svc, 1)
+	time.Sleep(5 * time.Millisecond) // let the slow job reach the worker
+
+	const blocked = 8
+	errs := make(chan error, blocked)
+	for i := 0; i < blocked; i++ {
+		go func(i int) {
+			req := quickReq()
+			req.Reliability = nil
+			req.Seed = int64(100 + i) // distinct keys: all block on the handoff
+			_, err := svc.Do(context.Background(), req)
+			errs <- err
+		}(i)
+	}
+	waitBusy(t, svc, blocked+1)
+	svc.Close()
+	for i := 0; i < blocked; i++ {
+		if err := <-errs; !errors.Is(err, ErrClosed) {
+			t.Fatalf("blocked caller got %v, want ErrClosed", err)
+		}
+	}
+	if err := <-slow; err != nil {
+		t.Fatalf("in-flight compute failed across Close: %v", err)
+	}
+	// Abandoned handoffs must remove their entries; only the completed
+	// slow compute may stay resident.
+	if n := svc.Stats().CacheEntries; n != 1 {
+		t.Errorf("%d cache entries after shutdown, want 1 (the completed compute)", n)
 	}
 }

@@ -15,11 +15,15 @@ const latWindow = 1024
 // recording are allocation-free; snapshot (the /statsz path) copies and
 // sorts the latency window.
 type stats struct {
-	hits        atomic.Int64
-	misses      atomic.Int64
-	failures    atomic.Int64
-	badRequests atomic.Int64
-	inflight    atomic.Int64
+	hits          atomic.Int64
+	misses        atomic.Int64
+	diskHits      atomic.Int64
+	shed          atomic.Int64
+	forwards      atomic.Int64
+	forwardErrors atomic.Int64
+	failures      atomic.Int64
+	badRequests   atomic.Int64
+	inflight      atomic.Int64
 
 	mu  sync.Mutex
 	lat [latWindow]float64 // seconds, ring buffer
@@ -45,14 +49,29 @@ type StatsSnapshot struct {
 	Misses int64 `json:"misses"`
 	// HitRate is Hits over Hits+Misses (0 before any request).
 	HitRate float64 `json:"hitRate"`
+	// DiskHits counts the subset of Hits answered by the persistent
+	// disk tier — keys absent from memory (restart, eviction) whose
+	// bytes were read back instead of recomputed.
+	DiskHits int64 `json:"diskHits"`
+	// Shed counts computes rejected by the admission gate (AdmitMax)
+	// with ErrOverloaded / HTTP 429.
+	Shed int64 `json:"shed"`
+	// Forwards counts /schedule requests this node routed to their
+	// owning peer; ForwardErrors the subset whose peer was unreachable
+	// and which were served locally instead.
+	Forwards      int64 `json:"forwards"`
+	ForwardErrors int64 `json:"forwardErrors"`
 	// Failures counts requests whose compute errored; BadRequests those
 	// rejected by validation before hashing.
 	Failures    int64 `json:"failures"`
 	BadRequests int64 `json:"badRequests"`
 	// InFlight is the number of requests currently being served
-	// (waiting included); CacheEntries the resident responses.
+	// (waiting included); CacheEntries the resident responses in
+	// memory; DiskEntries the responses persisted by the disk tier (0
+	// when disabled).
 	InFlight     int64 `json:"inFlight"`
 	CacheEntries int   `json:"cacheEntries"`
+	DiskEntries  int   `json:"diskEntries"`
 	// P50Millis / P99Millis are request-latency quantiles over the last
 	// 1024 requests (hits and misses alike), in milliseconds.
 	P50Millis float64 `json:"p50Millis"`
@@ -61,15 +80,20 @@ type StatsSnapshot struct {
 	Workers int `json:"workers"`
 }
 
-func (st *stats) snapshot(cacheEntries, workers int) StatsSnapshot {
+func (st *stats) snapshot(cacheEntries, diskEntries, workers int) StatsSnapshot {
 	s := StatsSnapshot{
-		Hits:         st.hits.Load(),
-		Misses:       st.misses.Load(),
-		Failures:     st.failures.Load(),
-		BadRequests:  st.badRequests.Load(),
-		InFlight:     st.inflight.Load(),
-		CacheEntries: cacheEntries,
-		Workers:      workers,
+		Hits:          st.hits.Load(),
+		Misses:        st.misses.Load(),
+		DiskHits:      st.diskHits.Load(),
+		Shed:          st.shed.Load(),
+		Forwards:      st.forwards.Load(),
+		ForwardErrors: st.forwardErrors.Load(),
+		Failures:      st.failures.Load(),
+		BadRequests:   st.badRequests.Load(),
+		InFlight:      st.inflight.Load(),
+		CacheEntries:  cacheEntries,
+		DiskEntries:   diskEntries,
+		Workers:       workers,
 	}
 	if total := s.Hits + s.Misses; total > 0 {
 		s.HitRate = float64(s.Hits) / float64(total)
